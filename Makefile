@@ -1,0 +1,44 @@
+# sx4bench — build, test, and regenerate the paper's results.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench examples figures report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./internal/sx4/commreg/ ./internal/slt/ ./internal/ccm2/ ./internal/mom/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper.
+figures:
+	$(GO) run ./cmd/figures -exp all
+
+# The procurement-style findings document (all anchors, pass/fail).
+report:
+	$(GO) run ./cmd/figures -exp report
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/climate
+	$(GO) run ./examples/ocean
+	$(GO) run ./examples/procurement
+	$(GO) run ./examples/multinode
+	$(GO) run ./examples/operations
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,100 @@
+// Command figures regenerates the paper's tables and figures from the
+// model. Each experiment identifier maps to one table or figure of the
+// evaluation section (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	figures -exp table7        # one experiment
+//	figures -exp all           # everything
+//	figures -exp fig5 -csv     # CSV for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sx4bench"
+	"sx4bench/internal/core"
+	"sx4bench/internal/ncar"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig5..fig8, radabs, pop, prodload, correctness, io, multinode, report, all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of text (figures and tables only)")
+	plot := flag.Bool("plot", false, "render figures as ASCII log-log charts")
+	flag.Parse()
+
+	m := sx4bench.Benchmarked()
+	if *exp == "all" {
+		if err := sx4bench.RunAll(os.Stdout, m); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *csv {
+		if err := writeCSV(m, *exp); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *plot {
+		if err := writePlot(m, *exp); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := sx4bench.RunExperiment(os.Stdout, m, *exp); err != nil {
+		fail(err)
+	}
+}
+
+func writePlot(m *sx4bench.Machine, exp string) error {
+	var f sx4bench.Figure
+	switch exp {
+	case "fig5":
+		f = ncar.Fig5(m, 4)
+	case "fig6":
+		f = ncar.Fig6(m)
+	case "fig7":
+		f = ncar.Fig7(m)
+	case "fig8":
+		f = ncar.Fig8(m)
+	default:
+		return fmt.Errorf("no plot form for %q", exp)
+	}
+	return core.WritePlot(os.Stdout, f, 72, 22)
+}
+
+func writeCSV(m *sx4bench.Machine, exp string) error {
+	switch exp {
+	case "fig5":
+		return core.WriteFigureCSV(os.Stdout, ncar.Fig5(m, 4))
+	case "fig6":
+		return core.WriteFigureCSV(os.Stdout, ncar.Fig6(m))
+	case "fig7":
+		return core.WriteFigureCSV(os.Stdout, ncar.Fig7(m))
+	case "fig8":
+		return core.WriteFigureCSV(os.Stdout, ncar.Fig8(m))
+	case "table1":
+		return core.WriteTableCSV(os.Stdout, ncar.Table1())
+	case "table2":
+		return core.WriteTableCSV(os.Stdout, ncar.Table2())
+	case "table3":
+		return core.WriteTableCSV(os.Stdout, ncar.Table3(m))
+	case "table4":
+		return core.WriteTableCSV(os.Stdout, ncar.Table4())
+	case "table5":
+		return core.WriteTableCSV(os.Stdout, ncar.Table5(m))
+	case "table6":
+		return core.WriteTableCSV(os.Stdout, ncar.Table6(m))
+	case "table7":
+		return core.WriteTableCSV(os.Stdout, ncar.Table7(m))
+	}
+	return fmt.Errorf("no CSV form for %q", exp)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

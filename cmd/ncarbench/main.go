@@ -1,0 +1,65 @@
+// Command ncarbench runs the NCAR Benchmark Suite (or a single named
+// member) against the SX-4 model and prints the results, following the
+// paper's category structure.
+//
+// Usage:
+//
+//	ncarbench                  # list the suite
+//	ncarbench -run COPY        # one benchmark
+//	ncarbench -run all         # the full suite
+//	ncarbench -run CCM2 -cpus 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sx4bench"
+	"sx4bench/internal/ncar"
+	"sx4bench/internal/sx4"
+)
+
+func main() {
+	run := flag.String("run", "", "benchmark name (see list), or 'all'")
+	cpus := flag.Int("cpus", 32, "processors for the application benchmarks")
+	flag.Parse()
+
+	m := sx4bench.Benchmarked()
+	if *run == "" {
+		list()
+		return
+	}
+	if *run == "all" {
+		for _, b := range ncar.Suite() {
+			fmt.Printf("\n--- %s (%s) ---\n", b.Name, b.Category)
+			if err := ncar.RunBenchmark(os.Stdout, machineOf(m), b.Name, *cpus); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
+	if err := ncar.RunBenchmark(os.Stdout, machineOf(m), *run, *cpus); err != nil {
+		fail(err)
+	}
+}
+
+// machineOf unwraps the facade alias for the internal API.
+func machineOf(m *sx4bench.Machine) *sx4.Machine { return m }
+
+func list() {
+	fmt.Println("The NCAR Benchmark Suite:")
+	last := ncar.Category(-1)
+	for _, b := range ncar.Suite() {
+		if b.Category != last {
+			fmt.Printf("\n%s:\n", b.Category)
+			last = b.Category
+		}
+		fmt.Printf("  %-9s %s (KTRIES=%d)\n", b.Name, b.Description, b.KTries)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ncarbench:", err)
+	os.Exit(1)
+}

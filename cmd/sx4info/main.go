@@ -1,0 +1,57 @@
+// Command sx4info prints the modeled SX-4 configuration: the Table 2
+// specification sheet and the component inventory of Section 2 of the
+// paper (CPU, MMU, XMU, IOP, IXS, SUPER-UX).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sx4bench/internal/core"
+	"sx4bench/internal/ncar"
+	"sx4bench/internal/sx4"
+	"sx4bench/internal/sx4/iop"
+	"sx4bench/internal/sx4/ixs"
+	"sx4bench/internal/sx4/xmu"
+)
+
+func main() {
+	cpus := flag.Int("cpus", 32, "processors per node (1-32)")
+	nodes := flag.Int("nodes", 1, "nodes joined by the IXS (1-16)")
+	benchmarked := flag.Bool("benchmarked", true, "use the paper's 9.2 ns system")
+	flag.Parse()
+
+	var cfg sx4.Config
+	if *benchmarked && *cpus == 32 && *nodes == 1 {
+		cfg = sx4.Benchmarked()
+	} else {
+		cfg = sx4.NewConfig(*cpus, *nodes)
+	}
+	m := sx4.New(cfg)
+	fmt.Println(m)
+	fmt.Println()
+	if err := core.WriteTable(os.Stdout, ncar.Table2()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nComponent inventory (paper Section 2):")
+	fmt.Printf("  CPU:  %d vector pipes/set x 4 sets, %d-element vector registers,\n",
+		cfg.VectorPipes, cfg.VectorRegElems)
+	fmt.Printf("        2-issue superscalar unit, 64 KB I+D caches, communications registers\n")
+	fmt.Printf("  MMU:  %d SSRAM banks, %d-clock bank cycle, %.0f GB/s/CPU port, %.0f GB/s/node sustained\n",
+		cfg.MemoryBanks, cfg.BankBusyClocks, cfg.PortBytesPerSec()/1e9, cfg.NodeMemoryBytesPerSec()/1e9)
+	x := xmu.New(cfg.XMUGB)
+	fmt.Printf("  XMU:  %.0f GB extended memory at %.0f GB/s (direct-mapped arrays, SFS cache, swap)\n",
+		cfg.XMUGB, x.BytesPerSec/1e9)
+	sub := iop.New()
+	fmt.Printf("  IOP:  %d processors x %.1f GB/s, %d HIPPI channels, %.0f GB disk at %.0f MB/s\n",
+		sub.IOPs, sub.IOPBytesPerSec/1e9, sub.HIPPIChannels, sub.DiskArray.CapacityGB, sub.DiskArray.BytesPerSec/1e6)
+	if *nodes > 1 {
+		x := ixs.New(*nodes)
+		fmt.Printf("  IXS:  %d nodes, %.0f GB/s per node channel, %.0f GB/s bisection\n",
+			x.Nodes, x.PerNodeBytesPerSec/1e9, x.BisectionBytesPerSec/1e9)
+	}
+	fmt.Printf("  OS:   SUPER-UX (NQS batch, Resource Blocking, checkpoint/restart, SFS)\n")
+}

@@ -1,0 +1,50 @@
+// Climate: integrate the CCM2 skeleton — spectral shallow-water
+// dynamics on the Gaussian grid, radabs-driven radiative relaxation,
+// and shape-preserving semi-Lagrangian moisture transport — for a few
+// model days on the host, verify its conservation properties, then ask
+// the SX-4 model how the full T42..T170 configurations would scale
+// (the paper's Figure 8 and Table 5).
+package main
+
+import (
+	"fmt"
+
+	"sx4bench"
+	"sx4bench/internal/ccm2"
+)
+
+func main() {
+	// A small truncation keeps the host integration quick; the physics
+	// and transport code paths are the same ones the full resolutions
+	// use.
+	res := ccm2.Resolution{Name: "T21L3", T: 21, NLat: 32, NLon: 64, NLev: 3, TimeStepMin: 10}
+	model := ccm2.NewModel(res, 3)
+	dt := model.StableTimeStep()
+	fmt.Printf("integrating %s with dt=%.0f s\n", res.Name, dt)
+
+	mass0 := model.Layers[0].MeanPhi()
+	for i := 0; i < 48; i++ {
+		model.Step(dt)
+	}
+	fmt.Printf("after %d steps: mean geopotential %.4f (t=0: %.4f), checksum %.6g\n",
+		model.Steps(), model.Layers[0].MeanPhi(), mass0, model.Checksum())
+	q := model.Tr.MeanValue(model.Moisture[0])
+	fmt.Printf("layer-0 moisture mean: %.3e kg/kg (positive, bounded: SLT is shape preserving)\n", q)
+
+	// Performance on the modeled SX-4/32 at the paper's resolutions.
+	m := sx4bench.Benchmarked()
+	fmt.Println("\nCCM2 scalability on the SX-4/32 model (Figure 8):")
+	for _, name := range []string{"T42L18", "T106L18", "T170L18"} {
+		r, _ := ccm2.ResolutionByName(name)
+		fmt.Printf("  %-8s", name)
+		for _, p := range []int{1, 4, 16, 32} {
+			fmt.Printf("  %2dcpu %6.2f GF", p, ccm2.SustainedGFLOPS(m, r, p))
+		}
+		fmt.Println()
+	}
+
+	t42, _ := ccm2.ResolutionByName("T42L18")
+	_, io, total := ccm2.YearSim(m, t42, 32)
+	fmt.Printf("\none simulated year at T42L18: %.0f s wall clock (%.0f s of history I/O); paper: 1327.53 s\n",
+		total, io)
+}

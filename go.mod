@@ -1,0 +1,3 @@
+module sx4bench
+
+go 1.24

@@ -1,0 +1,110 @@
+package ccm2
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// History tape: CCM2's output format as the I/O benchmark describes it
+// — "a simulated header file and a simulated history tape file", the
+// latter an unformatted direct-access file with one record per
+// latitude so that on a multiprocessing system different processors
+// can write different latitude records.
+
+// historyMagic identifies a history tape.
+const historyMagic = 0x43434d32 // "CCM2"
+
+// HistoryHeader is the tape's fixed-size header record.
+type HistoryHeader struct {
+	Magic  uint32
+	T      int32
+	NLat   int32
+	NLon   int32
+	NLev   int32
+	Fields int32
+	Day    int32
+	Step   int32
+}
+
+// historyFields counts the per-level fields a record carries:
+// geopotential, vorticity, and moisture.
+const historyFields = 3
+
+// WriteHistory writes one day's history record set for the model: the
+// header followed by NLat latitude records, each holding
+// Fields x NLev x NLon float64 values. It returns the bytes written.
+func (m *Model) WriteHistory(w io.Writer, day int) (int64, error) {
+	h := HistoryHeader{
+		Magic:  historyMagic,
+		T:      int32(m.Res.T),
+		NLat:   int32(m.Res.NLat),
+		NLon:   int32(m.Res.NLon),
+		NLev:   int32(m.NLev()),
+		Fields: historyFields,
+		Day:    int32(day),
+		Step:   int32(m.steps),
+	}
+	if err := binary.Write(w, binary.BigEndian, &h); err != nil {
+		return 0, fmt.Errorf("ccm2: history header: %w", err)
+	}
+	written := int64(binary.Size(&h))
+
+	nlon := m.Res.NLon
+	// Synthesize the grid fields once.
+	phi := make([][]float64, m.NLev())
+	zeta := make([][]float64, m.NLev())
+	for k, l := range m.Layers {
+		phi[k] = m.Tr.Inverse(l.Phi)
+		zeta[k] = m.Tr.Inverse(l.Zeta)
+	}
+	row := make([]float64, historyFields*m.NLev()*nlon)
+	for j := 0; j < m.Res.NLat; j++ {
+		p := 0
+		for k := 0; k < m.NLev(); k++ {
+			p += copy(row[p:], phi[k][j*nlon:(j+1)*nlon])
+		}
+		for k := 0; k < m.NLev(); k++ {
+			p += copy(row[p:], zeta[k][j*nlon:(j+1)*nlon])
+		}
+		for k := 0; k < m.NLev(); k++ {
+			p += copy(row[p:], m.Moisture[k][j*nlon:(j+1)*nlon])
+		}
+		if err := binary.Write(w, binary.BigEndian, row); err != nil {
+			return written, fmt.Errorf("ccm2: history record %d: %w", j, err)
+		}
+		written += int64(8 * len(row))
+	}
+	return written, nil
+}
+
+// ReadHistory reads a history record set: the header and the latitude
+// records (each Fields x NLev x NLon values).
+func ReadHistory(r io.Reader) (HistoryHeader, [][]float64, error) {
+	var h HistoryHeader
+	if err := binary.Read(r, binary.BigEndian, &h); err != nil {
+		return h, nil, fmt.Errorf("ccm2: history header: %w", err)
+	}
+	if h.Magic != historyMagic {
+		return h, nil, fmt.Errorf("ccm2: not a history tape (magic %#x)", h.Magic)
+	}
+	if h.NLat <= 0 || h.NLon <= 0 || h.NLev <= 0 || h.Fields <= 0 ||
+		h.NLat > 4096 || h.NLon > 8192 || h.NLev > 256 || h.Fields > 64 {
+		return h, nil, fmt.Errorf("ccm2: implausible history geometry %+v", h)
+	}
+	records := make([][]float64, h.NLat)
+	rowLen := int(h.Fields) * int(h.NLev) * int(h.NLon)
+	for j := range records {
+		records[j] = make([]float64, rowLen)
+		if err := binary.Read(r, binary.BigEndian, records[j]); err != nil {
+			return h, nil, fmt.Errorf("ccm2: history record %d: %w", j, err)
+		}
+	}
+	return h, records, nil
+}
+
+// HistoryRecordBytes returns the size of one latitude record for the
+// model's geometry.
+func (m *Model) HistoryRecordBytes() int64 {
+	return int64(historyFields) * int64(m.NLev()) * int64(m.Res.NLon) * 8
+}

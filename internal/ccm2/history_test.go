@@ -1,0 +1,98 @@
+package ccm2
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestHistoryRoundTrip(t *testing.T) {
+	m := testModel(t)
+	dt := m.StableTimeStep()
+	for i := 0; i < 3; i++ {
+		m.Step(dt)
+	}
+	var buf bytes.Buffer
+	n, err := m.WriteHistory(&buf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	h, records, err := ReadHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Day != 7 || int(h.NLat) != m.Res.NLat || int(h.NLev) != m.NLev() {
+		t.Errorf("header %+v does not match model", h)
+	}
+	if len(records) != m.Res.NLat {
+		t.Fatalf("%d records, want one per latitude", len(records))
+	}
+	// Spot-check: the first field block of row j is the layer-0
+	// geopotential at latitude j.
+	phi0 := m.Tr.Inverse(m.Layers[0].Phi)
+	nlon := m.Res.NLon
+	for j := 0; j < m.Res.NLat; j += 7 {
+		for i := 0; i < nlon; i += 13 {
+			if records[j][i] != phi0[j*nlon+i] {
+				t.Fatalf("record (%d,%d) = %v, want %v", j, i, records[j][i], phi0[j*nlon+i])
+			}
+		}
+	}
+	// Moisture block is the last third; values must be finite and
+	// non-negative.
+	off := 2 * m.NLev() * nlon
+	for _, v := range records[0][off:] {
+		if v < -1e-15 || math.IsNaN(v) {
+			t.Fatal("moisture block corrupt")
+		}
+	}
+}
+
+func TestHistoryRecordSize(t *testing.T) {
+	m := testModel(t)
+	var buf bytes.Buffer
+	n, err := m.WriteHistory(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(32) + int64(m.Res.NLat)*m.HistoryRecordBytes()
+	if n != want {
+		t.Errorf("tape size %d, want header+records = %d", n, want)
+	}
+}
+
+func TestReadHistoryRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadHistory(bytes.NewReader([]byte("not a tape at all........."))); err == nil {
+		t.Error("garbage accepted as history tape")
+	}
+	// Valid magic but absurd geometry.
+	var buf bytes.Buffer
+	m := testModel(t)
+	if _, err := m.WriteHistory(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[7] = 0xFF // corrupt T field low byte... header layout: magic(4) T(4)
+	b[11] = 0xFF
+	if _, _, err := ReadHistory(bytes.NewReader(b[:40])); err == nil {
+		t.Error("truncated/corrupt tape accepted")
+	}
+}
+
+func TestHistoryDeterministic(t *testing.T) {
+	a := testModel(t)
+	b := testModel(t)
+	var bufA, bufB bytes.Buffer
+	if _, err := a.WriteHistory(&bufA, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteHistory(&bufB, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("identical models wrote different tapes")
+	}
+}

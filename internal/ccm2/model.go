@@ -1,0 +1,216 @@
+package ccm2
+
+import (
+	"fmt"
+	"math"
+
+	"sx4bench/internal/radabs"
+	"sx4bench/internal/slt"
+	"sx4bench/internal/spharm"
+	"sx4bench/internal/sx4/commreg"
+)
+
+// Resolution describes one CCM2 configuration (paper Table 4).
+type Resolution struct {
+	Name           string
+	T              int     // triangular truncation wavenumber
+	NLat, NLon     int     // Gaussian grid
+	NLev           int     // vertical levels
+	GridSpacingDeg float64 // nominal grid spacing
+	TimeStepMin    float64 // model time step in minutes
+}
+
+// Resolutions lists the paper's Table 4 rows.
+var Resolutions = []Resolution{
+	{"T42L18", 42, 64, 128, 18, 2.8, 20.0},
+	{"T63L18", 63, 96, 192, 18, 2.1, 12.0},
+	{"T85L18", 85, 128, 256, 18, 1.4, 10.0},
+	{"T106L18", 106, 160, 320, 18, 1.1, 7.5},
+	{"T170L18", 170, 256, 512, 18, 0.7, 5.0},
+}
+
+// ResolutionByName returns the named Table 4 resolution.
+func ResolutionByName(name string) (Resolution, error) {
+	for _, r := range Resolutions {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Resolution{}, fmt.Errorf("ccm2: unknown resolution %q", name)
+}
+
+// StepsPerDay returns the number of model time steps in a simulated
+// day.
+func (r Resolution) StepsPerDay() int {
+	return int(24*60/r.TimeStepMin + 0.5)
+}
+
+// Model is the CCM2 skeleton: NLev shallow-water layers coupled by
+// weak vertical diffusion, radiative relaxation whose rates come from
+// the radabs absorptivity matrix, and semi-Lagrangian moisture
+// transport per layer.
+type Model struct {
+	Res    Resolution
+	Tr     *spharm.Transform
+	Layers []*ShallowWater
+
+	Moisture [][]float64 // per layer, grid fields
+	sltGrid  *slt.Grid
+
+	coolRate []float64 // per-level radiative relaxation rate [1/s]
+	steps    int
+
+	// HostProcs controls goroutine parallelism of the host
+	// integration (microtasked loops via commreg); results are
+	// bit-identical to serial execution. Zero means serial.
+	HostProcs int
+
+	// SemiImplicit selects the implicit gravity-wave scheme, enabling
+	// the operational Table 4 time steps.
+	SemiImplicit bool
+}
+
+// NewModel builds a model at the given resolution. nlev overrides the
+// resolution's level count when positive (small values keep host-side
+// tests cheap; the performance traces always use the full L18).
+func NewModel(res Resolution, nlev int) *Model {
+	if nlev <= 0 {
+		nlev = res.NLev
+	}
+	tr := spharm.New(res.T, res.NLat, res.NLon)
+	m := &Model{Res: res, Tr: tr}
+	lat := make([]float64, res.NLat)
+	for j, mu := range tr.Mu() {
+		lat[j] = math.Asin(mu)
+	}
+	m.sltGrid = slt.NewGrid(res.NLon, lat)
+
+	// Radiative relaxation rates from the radabs absorptivity of the
+	// standard column: levels that exchange more radiation relax
+	// faster. Normalized to a ~20-day timescale at the most active
+	// level.
+	physLev := nlev
+	if physLev < 2 {
+		physLev = 2
+	}
+	abs := radabs.Absorptivity(radabs.NewColumn(physLev))
+	m.coolRate = make([]float64, nlev)
+	maxSum := 0.0
+	sums := make([]float64, nlev)
+	for k := 0; k < nlev; k++ {
+		var sum float64
+		for k2 := 0; k2 < physLev; k2++ {
+			kk := k
+			if kk >= physLev {
+				kk = physLev - 1
+			}
+			sum += abs[kk][k2]
+		}
+		sums[k] = sum
+		if sum > maxSum {
+			maxSum = sum
+		}
+	}
+	for k := 0; k < nlev; k++ {
+		m.coolRate[k] = sums[k] / maxSum / (20 * 86400)
+	}
+
+	for k := 0; k < nlev; k++ {
+		layer := NewShallowWater(tr)
+		// Slightly sheared solid-body flow, faster aloft.
+		layer.SetSolidBody(20 + 10*float64(nlev-1-k)/float64(nlev))
+		m.Layers = append(m.Layers, layer)
+
+		q := make([]float64, tr.GridLen())
+		for j := 0; j < res.NLat; j++ {
+			mu := tr.Mu()[j]
+			for i := 0; i < res.NLon; i++ {
+				// Moist tropics, dry poles, decaying with height.
+				q[j*res.NLon+i] = 0.02 * (1 - mu*mu) * math.Pow(float64(k+1)/float64(nlev), 2)
+			}
+		}
+		m.Moisture = append(m.Moisture, q)
+	}
+	return m
+}
+
+// NLev returns the model's layer count.
+func (m *Model) NLev() int { return len(m.Layers) }
+
+// Step advances the model one time step of dt seconds: dynamics in
+// every layer, vertical diffusion, radiative relaxation, and moisture
+// transport.
+func (m *Model) Step(dt float64) {
+	// Dynamics: the layers are independent within a step.
+	commreg.ParallelFor(m.HostProcs, len(m.Layers), func(k int) {
+		if m.SemiImplicit {
+			m.Layers[k].StepSemiImplicit(dt)
+		} else {
+			m.Layers[k].Step(dt)
+		}
+	})
+	// Weak vertical diffusion of geopotential between adjacent layers.
+	if len(m.Layers) > 1 {
+		kv := dt / (50 * 86400)
+		for k := 0; k < len(m.Layers)-1; k++ {
+			a := m.Layers[k].Phi
+			b := m.Layers[k+1].Phi
+			for i := range a {
+				d := complex(kv, 0) * (b[i] - a[i])
+				a[i] += d
+				b[i] -= d
+			}
+		}
+	}
+	// Radiative relaxation: damp geopotential deviations from the
+	// layer mean at the radabs-derived rate.
+	for k, l := range m.Layers {
+		damp := complex(1-dt*m.coolRate[k], 0)
+		for i := 1; i < len(l.Phi); i++ {
+			l.Phi[i] *= damp
+		}
+	}
+	// Moisture: semi-Lagrangian transport by each layer's winds.
+	commreg.ParallelFor(m.HostProcs, len(m.Layers), func(k int) {
+		l := m.Layers[k]
+		U, V := l.Winds()
+		u := make([]float64, len(U))
+		v := make([]float64, len(V))
+		mu := m.Tr.Mu()
+		for j := 0; j < m.Res.NLat; j++ {
+			oneMinus := 1 - mu[j]*mu[j]
+			cos := math.Sqrt(oneMinus)
+			for i := 0; i < m.Res.NLon; i++ {
+				idx := j*m.Res.NLon + i
+				u[idx] = U[idx] / (m.Tr.A * oneMinus) // λ̇
+				v[idx] = V[idx] / (m.Tr.A * cos)      // φ̇
+			}
+		}
+		m.Moisture[k] = m.sltGrid.Advect(m.Moisture[k], u, v, dt)
+	})
+	m.steps++
+}
+
+// Steps returns the number of steps taken.
+func (m *Model) Steps() int { return m.steps }
+
+// Checksum returns a deterministic scalar summarizing the model state,
+// the correctness check each application benchmark must pass.
+func (m *Model) Checksum() float64 {
+	var sum float64
+	for k, l := range m.Layers {
+		sum += l.MeanPhi() * float64(k+1)
+		sum += m.Tr.MeanValue(m.Moisture[k]) * 1e4
+		sum += l.MaxAbsGrid(l.Zeta) * 1e5
+	}
+	return sum
+}
+
+// TimeStep returns the operational time step of the model's
+// resolution, in seconds.
+func (m *Model) TimeStep() float64 { return m.Res.TimeStepMin * 60 }
+
+// StableTimeStep returns an explicitly stable step for host
+// integration (the real CCM2 is semi-implicit and runs the Table 4
+// steps; the explicit skeleton needs CFL-limited ones).
+func (m *Model) StableTimeStep() float64 { return CFLTimeStep(m.Tr, 0.5) }

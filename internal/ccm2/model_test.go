@@ -1,0 +1,182 @@
+package ccm2
+
+import (
+	"math"
+	"testing"
+)
+
+// testModel builds a cheap host-integrable model: T21-class grid via
+// the fallback canonical grid, 3 levels.
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	res := Resolution{Name: "T21L3", T: 21, NLat: 32, NLon: 64, NLev: 3, TimeStepMin: 10}
+	return NewModel(res, 3)
+}
+
+func TestModelStableIntegration(t *testing.T) {
+	m := testModel(t)
+	dt := m.StableTimeStep()
+	for i := 0; i < 30; i++ {
+		m.Step(dt)
+	}
+	if m.Steps() != 30 {
+		t.Fatalf("steps = %d", m.Steps())
+	}
+	for k, l := range m.Layers {
+		if z := l.MaxAbsGrid(l.Zeta); math.IsNaN(z) || z > 1e-3 {
+			t.Errorf("layer %d vorticity unstable: %v", k, z)
+		}
+		if p := l.MeanPhi(); math.Abs(p-PhiBar) > 0.2*PhiBar {
+			t.Errorf("layer %d mean geopotential drifted to %v", k, p)
+		}
+	}
+}
+
+func TestMoistureBoundsPreserved(t *testing.T) {
+	m := testModel(t)
+	var hi0 float64
+	for _, q := range m.Moisture {
+		for _, v := range q {
+			if v > hi0 {
+				hi0 = v
+			}
+		}
+	}
+	dt := m.StableTimeStep()
+	for i := 0; i < 25; i++ {
+		m.Step(dt)
+	}
+	for k, q := range m.Moisture {
+		for _, v := range q {
+			if v < -1e-15 || v > hi0*1.0001 {
+				t.Fatalf("layer %d moisture %v outside [0, %v]", k, v, hi0)
+			}
+		}
+	}
+}
+
+func TestMassConservedPerLayer(t *testing.T) {
+	m := testModel(t)
+	m0 := make([]float64, m.NLev())
+	for k, l := range m.Layers {
+		m0[k] = l.MeanPhi()
+	}
+	dt := m.StableTimeStep()
+	for i := 0; i < 20; i++ {
+		m.Step(dt)
+	}
+	// Vertical diffusion exchanges between layers but conserves the
+	// column total.
+	var tot0, tot1 float64
+	for k, l := range m.Layers {
+		tot0 += m0[k]
+		tot1 += l.MeanPhi()
+	}
+	if math.Abs(tot1-tot0) > 1e-6*math.Abs(tot0) {
+		t.Errorf("column mass drifted: %v -> %v", tot0, tot1)
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	a := testModel(t)
+	b := testModel(t)
+	dt := a.StableTimeStep()
+	for i := 0; i < 10; i++ {
+		a.Step(dt)
+		b.Step(dt)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Errorf("checksums differ: %v vs %v", a.Checksum(), b.Checksum())
+	}
+	if a.Checksum() == 0 {
+		t.Error("checksum is zero, suspicious")
+	}
+}
+
+func TestCoolingRatesFromRadabs(t *testing.T) {
+	m := testModel(t)
+	maxRate := 0.0
+	for k, r := range m.coolRate {
+		if r < 0 || r > 1.0/(86400) {
+			t.Errorf("level %d cooling rate %v unphysical", k, r)
+		}
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	if maxRate == 0 {
+		t.Error("all cooling rates zero; radabs coupling broken")
+	}
+}
+
+func TestNewModelDefaultLevels(t *testing.T) {
+	res, _ := ResolutionByName("T42L18")
+	m := NewModel(res, 2) // override keeps the test cheap
+	if m.NLev() != 2 {
+		t.Errorf("override levels = %d, want 2", m.NLev())
+	}
+	if m.TimeStep() != 1200 {
+		t.Errorf("operational time step = %v s, want 1200", m.TimeStep())
+	}
+}
+
+func TestSemiImplicitModelAtOperationalStep(t *testing.T) {
+	m := testModel(t)
+	m.SemiImplicit = true
+	dt := m.TimeStep() // the resolution's operational step (minutes)
+	for i := 0; i < 24; i++ {
+		m.Step(dt)
+	}
+	for k, l := range m.Layers {
+		if z := l.MaxAbsGrid(l.Zeta); math.IsNaN(z) || z > 1e-3 {
+			t.Errorf("layer %d unstable at operational dt: %v", k, z)
+		}
+	}
+	for _, q := range m.Moisture {
+		for _, v := range q {
+			if v < -1e-15 || math.IsNaN(v) {
+				t.Fatal("moisture broke under operational stepping")
+			}
+		}
+	}
+}
+
+func TestHostParallelismDeterministic(t *testing.T) {
+	serial := testModel(t)
+	parallel := testModel(t)
+	parallel.HostProcs = 3
+	dt := serial.StableTimeStep()
+	for i := 0; i < 8; i++ {
+		serial.Step(dt)
+		parallel.Step(dt)
+	}
+	if serial.Checksum() != parallel.Checksum() {
+		t.Errorf("parallel host integration diverged: %v vs %v",
+			parallel.Checksum(), serial.Checksum())
+	}
+}
+
+func TestTable4Data(t *testing.T) {
+	if len(Resolutions) != 5 {
+		t.Fatalf("Table 4 has %d rows, want 5", len(Resolutions))
+	}
+	want := []struct {
+		name     string
+		lat, lon int
+		spacing  float64
+		stepMin  float64
+	}{
+		{"T42L18", 64, 128, 2.8, 20},
+		{"T63L18", 96, 192, 2.1, 12},
+		{"T85L18", 128, 256, 1.4, 10},
+		{"T106L18", 160, 320, 1.1, 7.5},
+		{"T170L18", 256, 512, 0.7, 5},
+	}
+	for i, w := range want {
+		r := Resolutions[i]
+		if r.Name != w.name || r.NLat != w.lat || r.NLon != w.lon ||
+			r.GridSpacingDeg != w.spacing || r.TimeStepMin != w.stepMin || r.NLev != 18 {
+			t.Errorf("Table 4 row %d = %+v, want %+v", i, r, w)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package ccm2
+
+import (
+	"fmt"
+
+	"sx4bench/internal/sx4"
+	"sx4bench/internal/sx4/ixs"
+)
+
+// Multinode projection: the paper benchmarks a single 32-CPU node, but
+// the SX-4 scales to 16 nodes over the IXS crossbar (Section 2.5,
+// Figure 2). This extension projects CCM2 across nodes: the spectral
+// transform requires a data transposition between the latitude-
+// decomposed grid space and the wavenumber-decomposed spectral space,
+// which on a multinode system becomes an all-to-all through the IXS.
+
+// masterControlClocks is the per-step non-decomposable control cost on
+// the master node (time-step sequencing, global diagnostics) for
+// multinode runs; a calibration constant of the projection.
+const masterControlClocks = 200_000
+
+// TransposeBytesPerStep estimates the per-step internode transpose
+// volume: the spectral state (fields x levels x coefficients, complex)
+// crosses the node boundary twice per step.
+func TransposeBytesPerStep(res Resolution) int64 {
+	nspec := (res.T + 1) * (res.T + 2) / 2
+	fields := int64(4)
+	return 2 * fields * int64(res.NLev) * int64(nspec) * 16 // complex128
+}
+
+// MultiNodeResult is one point of the multinode projection.
+type MultiNodeResult struct {
+	Nodes       int
+	TotalCPUs   int
+	StepSeconds float64
+	GFLOPS      float64
+	Efficiency  float64 // vs. ideal scaling from one node
+}
+
+// MultiNodeProjection projects a resolution across n SX-4/32 nodes
+// joined by the IXS: each node runs 1/n of the latitudes (the
+// single-node machine model at full 32-CPU parallelism on 1/n of the
+// work), plus the all-to-all transpose and a global barrier per step.
+func MultiNodeProjection(m *sx4.Machine, res Resolution, nodes int) MultiNodeResult {
+	perNodeCPUs := m.Config().CPUs
+	singleNode := StepSeconds(m, res, perNodeCPUs, perNodeCPUs)
+	out := MultiNodeResult{Nodes: nodes, TotalCPUs: nodes * perNodeCPUs}
+	if nodes <= 1 {
+		out.StepSeconds = singleNode
+		out.GFLOPS = float64(StepFlops(res)) / singleNode / 1e9
+		out.Efficiency = 1
+		return out
+	}
+	x := ixs.New(nodes)
+	pairBytes := TransposeBytesPerStep(res) / int64(nodes*(nodes-1))
+	comm := x.AllToAllTime(pairBytes) + x.BarrierTime()*4
+	// Non-decomposed per-step control: time-step sequencing and
+	// diagnostics gathering on the master node do not shrink with the
+	// node count (they are part of the single node's orchestration
+	// phase, so they appear here only for nodes > 1).
+	master := m.Seconds(masterControlClocks)
+	out.StepSeconds = singleNode/float64(nodes) + master + comm
+	out.GFLOPS = float64(StepFlops(res)) / out.StepSeconds / 1e9
+	ideal := singleNode / float64(nodes)
+	out.Efficiency = ideal / out.StepSeconds
+	return out
+}
+
+// MultiNodeSweep projects a resolution over 1..maxNodes nodes.
+func MultiNodeSweep(m *sx4.Machine, res Resolution, maxNodes int) []MultiNodeResult {
+	if maxNodes < 1 || maxNodes > 16 {
+		panic(fmt.Sprintf("ccm2: node count %d out of range [1,16]", maxNodes))
+	}
+	var out []MultiNodeResult
+	for n := 1; n <= maxNodes; n *= 2 {
+		out = append(out, MultiNodeProjection(m, res, n))
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package ccm2
+
+import (
+	"testing"
+)
+
+func TestMultiNodeProjectionScales(t *testing.T) {
+	m := bench()
+	res, _ := ResolutionByName("T170L18")
+	sweep := MultiNodeSweep(m, res, 16)
+	if len(sweep) != 5 { // 1, 2, 4, 8, 16
+		t.Fatalf("sweep has %d points", len(sweep))
+	}
+	prevGF := 0.0
+	for _, r := range sweep {
+		if r.GFLOPS <= prevGF {
+			t.Errorf("GFLOPS not increasing at %d nodes: %.1f <= %.1f", r.Nodes, r.GFLOPS, prevGF)
+		}
+		prevGF = r.GFLOPS
+		if r.Efficiency <= 0 || r.Efficiency > 1 {
+			t.Errorf("%d nodes: efficiency %v out of (0,1]", r.Nodes, r.Efficiency)
+		}
+	}
+	// Efficiency decays with node count (communication grows).
+	if sweep[4].Efficiency >= sweep[1].Efficiency {
+		t.Errorf("16-node efficiency (%v) should trail 2-node (%v)",
+			sweep[4].Efficiency, sweep[1].Efficiency)
+	}
+	// A T170 step is large enough that the IXS keeps multinode
+	// efficiency respectable at 16 nodes.
+	if sweep[4].Efficiency < 0.5 {
+		t.Errorf("16-node T170 efficiency = %v, want >= 0.5 over a 128 GB/s bisection", sweep[4].Efficiency)
+	}
+}
+
+func TestMultiNodeSmallProblemCommBound(t *testing.T) {
+	m := bench()
+	t42, _ := ResolutionByName("T42L18")
+	t170, _ := ResolutionByName("T170L18")
+	e42 := MultiNodeProjection(m, t42, 16).Efficiency
+	e170 := MultiNodeProjection(m, t170, 16).Efficiency
+	if e42 >= e170 {
+		t.Errorf("T42 at 16 nodes (%v) should be less efficient than T170 (%v)", e42, e170)
+	}
+}
+
+func TestMultiNodeSingleNodeIdentity(t *testing.T) {
+	m := bench()
+	res, _ := ResolutionByName("T106L18")
+	r := MultiNodeProjection(m, res, 1)
+	if r.Efficiency != 1 || r.TotalCPUs != 32 {
+		t.Errorf("single-node projection: %+v", r)
+	}
+	if r.StepSeconds != StepSeconds(m, res, 32, 32) {
+		t.Error("single-node projection should equal the node model")
+	}
+}
+
+func TestTransposeVolumeGrowsWithResolution(t *testing.T) {
+	t42, _ := ResolutionByName("T42L18")
+	t170, _ := ResolutionByName("T170L18")
+	if TransposeBytesPerStep(t170) <= TransposeBytesPerStep(t42) {
+		t.Error("transpose volume should grow with resolution")
+	}
+}
+
+func TestMultiNodeSweepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("17-node sweep did not panic")
+		}
+	}()
+	MultiNodeSweep(bench(), Resolutions[0], 17)
+}

@@ -1,0 +1,135 @@
+package ccm2
+
+import (
+	"math"
+
+	"sx4bench/internal/sx4/commreg"
+)
+
+// Column physics beyond radiation: the parameterizations CCM2 runs in
+// every vertical column each step. The skeleton implements the three
+// that dominate the moisture budget — large-scale (stable)
+// condensation, moist convective adjustment, and boundary-layer
+// diffusion with a surface moisture source — acting on the model's
+// per-layer specific humidity with a saturation limit that falls with
+// height (colder air holds less water).
+
+// PhysicsTuning collects the parameterization constants.
+type PhysicsTuning struct {
+	// QSatSurface is the saturation specific humidity at the lowest
+	// layer [kg/kg]; saturation decays upward with ScaleLayers.
+	QSatSurface float64
+	ScaleLayers float64
+	// CondenseFrac is the fraction of supersaturation removed per step.
+	CondenseFrac float64
+	// ConvectFrac is the fraction of an unstable moisture inversion
+	// mixed per step.
+	ConvectFrac float64
+	// PBLExchange is the surface-evaporation relaxation per step
+	// toward SurfaceWetness*QSat of the lowest layer.
+	PBLExchange    float64
+	SurfaceWetness float64
+}
+
+// DefaultPhysics returns the operational tuning.
+func DefaultPhysics() PhysicsTuning {
+	return PhysicsTuning{
+		QSatSurface:    0.025,
+		ScaleLayers:    6,
+		CondenseFrac:   0.5,
+		ConvectFrac:    0.25,
+		PBLExchange:    0.05,
+		SurfaceWetness: 0.8,
+	}
+}
+
+// qSat returns the saturation humidity for layer k of nlev (layer 0 is
+// the top).
+func (p PhysicsTuning) qSat(k, nlev int) float64 {
+	heightLayers := float64(nlev - 1 - k)
+	return p.QSatSurface * math.Exp(-heightLayers/p.ScaleLayers)
+}
+
+// PhysicsDiagnostics accumulates the step's column-physics budget.
+type PhysicsDiagnostics struct {
+	Precipitation  float64 // total condensed water removed [kg/kg * cells]
+	Evaporation    float64 // total surface source added
+	ConvectedCells int
+}
+
+// StepPhysics applies the moist physics to the model's humidity
+// columns and returns the budget diagnostics. Condensed water leaves
+// the atmosphere as precipitation (removed mass), evaporation
+// replenishes the lowest layer — so a long integration reaches a
+// moisture balance instead of drying out or flooding.
+func (m *Model) StepPhysics(tuning PhysicsTuning) PhysicsDiagnostics {
+	nlev := m.NLev()
+	nCells := m.Res.NLat * m.Res.NLon
+	diags := make([]PhysicsDiagnostics, maxInt(1, m.HostProcs))
+	procs := maxInt(1, m.HostProcs)
+	chunk := (nCells + procs - 1) / procs
+
+	commreg.ParallelFor(m.HostProcs, procs, func(w int) {
+		lo, hi := w*chunk, minInt((w+1)*chunk, nCells)
+		d := &diags[w]
+		for cell := lo; cell < hi; cell++ {
+			// Large-scale condensation: remove supersaturation.
+			for k := 0; k < nlev; k++ {
+				qs := tuning.qSat(k, nlev)
+				q := m.Moisture[k][cell]
+				if q > qs {
+					rain := tuning.CondenseFrac * (q - qs)
+					m.Moisture[k][cell] = q - rain
+					d.Precipitation += rain
+				}
+			}
+			// Moist convective adjustment: if a layer is moister than
+			// the one above can explain (inversion of the scaled
+			// profile), mix the pair.
+			for k := nlev - 1; k > 0; k-- {
+				below := m.Moisture[k][cell] / tuning.qSat(k, nlev)
+				above := m.Moisture[k-1][cell] / tuning.qSat(k-1, nlev)
+				if below > 1 && below > above+0.1 {
+					mixed := tuning.ConvectFrac * (below - above) / 2
+					dq := mixed * tuning.qSat(k, nlev)
+					m.Moisture[k][cell] -= dq
+					m.Moisture[k-1][cell] += dq * tuning.qSat(k-1, nlev) / tuning.qSat(k, nlev) *
+						0.7 // entrainment loss condenses
+					d.Precipitation += 0.3 * dq
+					d.ConvectedCells++
+				}
+			}
+			// PBL: surface evaporation relaxes the lowest layer toward
+			// a wet-surface equilibrium.
+			kSfc := nlev - 1
+			target := tuning.SurfaceWetness * tuning.qSat(kSfc, nlev)
+			if q := m.Moisture[kSfc][cell]; q < target {
+				dq := tuning.PBLExchange * (target - q)
+				m.Moisture[kSfc][cell] = q + dq
+				d.Evaporation += dq
+			}
+		}
+	})
+
+	var total PhysicsDiagnostics
+	for _, d := range diags {
+		total.Precipitation += d.Precipitation
+		total.Evaporation += d.Evaporation
+		total.ConvectedCells += d.ConvectedCells
+	}
+	return total
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package ccm2
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCondensationRemovesSupersaturation(t *testing.T) {
+	m := testModel(t)
+	tune := DefaultPhysics()
+	// Supersaturate a patch of the top layer.
+	for i := 0; i < 50; i++ {
+		m.Moisture[0][i] = 1.0 // wildly supersaturated
+	}
+	var totalRain float64
+	for pass := 0; pass < 100; pass++ {
+		d := m.StepPhysics(tune)
+		totalRain += d.Precipitation
+	}
+	qs := tune.qSat(0, m.NLev())
+	for i := 0; i < 50; i++ {
+		if m.Moisture[0][i] > qs*1.01 {
+			t.Fatalf("cell %d still supersaturated: %v > %v", i, m.Moisture[0][i], qs)
+		}
+	}
+	if totalRain <= 0 {
+		t.Error("no precipitation produced")
+	}
+}
+
+func TestPhysicsKeepsMoistureNonNegative(t *testing.T) {
+	m := testModel(t)
+	tune := DefaultPhysics()
+	for pass := 0; pass < 50; pass++ {
+		m.StepPhysics(tune)
+	}
+	for k, q := range m.Moisture {
+		for i, v := range q {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("layer %d cell %d: humidity %v", k, i, v)
+			}
+		}
+	}
+}
+
+func TestEvaporationRewetsDryBoundaryLayer(t *testing.T) {
+	m := testModel(t)
+	tune := DefaultPhysics()
+	kSfc := m.NLev() - 1
+	for i := range m.Moisture[kSfc] {
+		m.Moisture[kSfc][i] = 0 // desiccate the boundary layer
+	}
+	var evap float64
+	for pass := 0; pass < 200; pass++ {
+		evap += m.StepPhysics(tune).Evaporation
+	}
+	if evap <= 0 {
+		t.Fatal("no evaporation")
+	}
+	target := tune.SurfaceWetness * tune.qSat(kSfc, m.NLev())
+	for i := range m.Moisture[kSfc] {
+		if m.Moisture[kSfc][i] < 0.9*target {
+			t.Fatalf("boundary layer did not rewet: %v < %v", m.Moisture[kSfc][i], target)
+		}
+	}
+}
+
+func TestConvectionTriggersOnInversion(t *testing.T) {
+	m := testModel(t)
+	tune := DefaultPhysics()
+	// Build a strong moisture inversion: saturated low layer under a
+	// bone-dry upper layer.
+	kLow := m.NLev() - 1
+	for i := range m.Moisture[kLow] {
+		m.Moisture[kLow][i] = 1.5 * tune.qSat(kLow, m.NLev())
+		m.Moisture[0][i] = 0
+	}
+	d := m.StepPhysics(tune)
+	if d.ConvectedCells == 0 {
+		t.Error("no convection on a strong inversion")
+	}
+}
+
+func TestMoistureBudgetCloses(t *testing.T) {
+	// Total water change = evaporation - precipitation, exactly,
+	// when convection's entrainment loss is counted as precipitation.
+	m := testModel(t)
+	tune := DefaultPhysics()
+	sum := func() float64 {
+		var s float64
+		for _, q := range m.Moisture {
+			for _, v := range q {
+				s += v
+			}
+		}
+		return s
+	}
+	before := sum()
+	d := m.StepPhysics(tune)
+	after := sum()
+	want := before + d.Evaporation - d.Precipitation
+	if math.Abs(after-want) > 1e-9*math.Abs(before) {
+		t.Errorf("budget leak: after %v, want %v (evap %v, precip %v)",
+			after, want, d.Evaporation, d.Precipitation)
+	}
+}
+
+func TestClimateReachesMoistureBalance(t *testing.T) {
+	// With dynamics + physics together, global moisture settles into a
+	// quasi-steady balance (no runaway drying or flooding).
+	m := testModel(t)
+	m.SemiImplicit = true
+	tune := DefaultPhysics()
+	dt := m.TimeStep()
+	var last float64
+	for i := 0; i < 60; i++ {
+		m.Step(dt)
+		m.StepPhysics(tune)
+		last = m.Tr.MeanValue(m.Moisture[m.NLev()-1])
+	}
+	if last <= 0 || math.IsNaN(last) {
+		t.Fatalf("boundary-layer moisture collapsed: %v", last)
+	}
+	qs := tune.qSat(m.NLev()-1, m.NLev())
+	if last > qs {
+		t.Errorf("boundary layer supersaturated on average: %v > %v", last, qs)
+	}
+}
+
+func TestPhysicsParallelDeterministic(t *testing.T) {
+	a := testModel(t)
+	b := testModel(t)
+	b.HostProcs = 4
+	tune := DefaultPhysics()
+	for i := 0; i < 10; i++ {
+		da := a.StepPhysics(tune)
+		db := b.StepPhysics(tune)
+		if math.Abs(da.Precipitation-db.Precipitation) > 1e-12 ||
+			math.Abs(da.Evaporation-db.Evaporation) > 1e-12 ||
+			da.ConvectedCells != db.ConvectedCells {
+			t.Fatalf("parallel physics diverged at step %d: %+v vs %+v", i, db, da)
+		}
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Error("states diverged")
+	}
+}

@@ -1,0 +1,83 @@
+package ccm2
+
+// StepSemiImplicit advances the layer with the linear gravity-wave
+// terms treated implicitly (trapezoidal across the leapfrog interval),
+// the scheme that lets CCM2 run the long Table 4 time steps the
+// explicit CFL condition forbids. In spectral space the implicit
+// Helmholtz operator is diagonal — one of the spectral transform
+// method's selling points. With T the leapfrog interval, λ_n =
+// n(n+1)/a², and N the nonlinear (explicit) tendency parts:
+//
+//	δ⁺ (1 + g) = δ⁻ (1 − g) + T·N_δ + T·λ·Φ⁻ + (T²/2)·λ·N_Φ,
+//	             g = (T²/4)·λ·Φ̄
+//	Φ⁺ = Φ⁻ + T·N_Φ − (T/2)·Φ̄·(δ⁺ + δ⁻)
+//	ζ⁺ = ζ⁻ + T·(dζ/dt)            (vorticity has no gravity term)
+func (s *ShallowWater) StepSemiImplicit(dt float64) {
+	dZeta, dDelta, dPhi := s.Tendencies()
+	tr := s.Tr
+
+	// Leapfrog interval; forward (Euler) start on the first step.
+	T := 2 * dt
+	prevZeta, prevDelta, prevPhi := s.prevZeta, s.prevDelta, s.prevPhi
+	if s.steps == 0 {
+		T = dt
+		prevZeta, prevDelta, prevPhi = s.Zeta, s.Delta, s.Phi
+	}
+
+	nZeta := make([]complex128, len(s.Zeta))
+	nDelta := make([]complex128, len(s.Delta))
+	nPhi := make([]complex128, len(s.Phi))
+	for m := 0; m <= tr.T; m++ {
+		for n := m; n <= tr.T; n++ {
+			i := tr.Idx(m, n)
+			lambda := float64(n) * float64(n+1) / (tr.A * tr.A)
+
+			// Nonlinear parts: strip the linear gravity terms the full
+			// tendencies contain (dDelta includes +λΦⁿ from -∇²Φ;
+			// dPhi includes -Φ̄δⁿ from the flux divergence).
+			nd := dDelta[i] - complex(lambda, 0)*s.Phi[i]
+			np := dPhi[i] + complex(PhiBar, 0)*s.Delta[i]
+
+			g := complex(T*T/4*lambda*PhiBar, 0)
+			rhs := prevDelta[i]*(1-g) +
+				complex(T, 0)*nd +
+				complex(T*lambda, 0)*prevPhi[i] +
+				complex(T*T/2*lambda, 0)*np
+			dNew := rhs / (1 + g)
+
+			nDelta[i] = dNew
+			nPhi[i] = prevPhi[i] + complex(T, 0)*np -
+				complex(T/2*PhiBar, 0)*(dNew+prevDelta[i])
+			nZeta[i] = prevZeta[i] + complex(T, 0)*dZeta[i]
+		}
+	}
+
+	// Implicit hyperdiffusion and Robert-Asselin filtering, exactly as
+	// in the explicit step.
+	for m := 0; m <= tr.T; m++ {
+		for n := m; n <= tr.T; n++ {
+			if n == 0 {
+				continue
+			}
+			ev := float64(n) * float64(n+1) / (tr.A * tr.A)
+			damp := complex(1/(1+2*dt*Nu4*ev*ev), 0)
+			i := tr.Idx(m, n)
+			nZeta[i] *= damp
+			nDelta[i] *= damp
+			nPhi[i] *= damp
+		}
+	}
+	filter := func(cur, prev, next []complex128) {
+		for i := range cur {
+			cur[i] += complex(RobertAlpha, 0) * (prev[i] - 2*cur[i] + next[i])
+		}
+	}
+	filter(s.Zeta, s.prevZeta, nZeta)
+	filter(s.Delta, s.prevDelta, nDelta)
+	filter(s.Phi, s.prevPhi, nPhi)
+
+	s.prevZeta, s.Zeta = s.Zeta, nZeta
+	s.prevDelta, s.Delta = s.Delta, nDelta
+	s.prevPhi, s.Phi = s.Phi, nPhi
+	s.steps++
+}

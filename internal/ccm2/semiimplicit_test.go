@@ -1,0 +1,151 @@
+package ccm2
+
+import (
+	"math"
+	"testing"
+
+	"sx4bench/internal/spharm"
+)
+
+func TestSemiImplicitSteadyState(t *testing.T) {
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.SetSolidBody(30)
+	phi0 := tr.Inverse(s.Phi)
+	// A step far beyond the explicit gravity-wave CFL.
+	dt := 4 * CFLTimeStep(tr, 1.0)
+	for i := 0; i < 30; i++ {
+		s.StepSemiImplicit(dt)
+	}
+	phi1 := tr.Inverse(s.Phi)
+	var maxDiff, amp float64
+	for i := range phi0 {
+		if d := math.Abs(phi1[i] - phi0[i]); d > maxDiff {
+			maxDiff = d
+		}
+		if d := math.Abs(phi0[i] - PhiBar); d > amp {
+			amp = d
+		}
+	}
+	if maxDiff > 0.05*amp {
+		t.Errorf("semi-implicit steady state drifted: %.3f%% of deviation amplitude",
+			100*maxDiff/amp)
+	}
+}
+
+func TestSemiImplicitStableBeyondExplicitCFL(t *testing.T) {
+	// At a T85-class grid the explicit scheme cannot take a 20-minute
+	// step; the semi-implicit scheme can (the real model runs 10-20
+	// minute steps at these resolutions, Table 4).
+	if testing.Short() {
+		t.Skip("T85 integration in -short mode")
+	}
+	tr := spharm.New(85, 128, 256)
+	cfl := CFLTimeStep(tr, 1.0)
+	dt := 1200.0
+	if dt < 1.2*cfl {
+		t.Skipf("grid CFL %v too long for the contrast", cfl)
+	}
+	s := NewShallowWater(tr)
+	s.SetSolidBody(30)
+	perturb(s, 5)
+	for i := 0; i < 60; i++ {
+		s.StepSemiImplicit(dt)
+	}
+	if z := s.MaxAbsGrid(s.Zeta); math.IsNaN(z) || z > 1e-3 {
+		t.Errorf("semi-implicit blew up at dt=%v: max|ζ| = %v", dt, z)
+	}
+	if p := s.MaxAbsGrid(s.Phi); math.IsNaN(p) || p > 10*PhiBar {
+		t.Errorf("geopotential unstable: %v", p)
+	}
+}
+
+func TestExplicitUnstableAtOperationalStep(t *testing.T) {
+	// Control: the explicit scheme at the same 20-minute step must NOT
+	// remain healthy — this is why the real model is semi-implicit.
+	if testing.Short() {
+		t.Skip("T85 integration in -short mode")
+	}
+	tr := spharm.New(85, 128, 256)
+	s := NewShallowWater(tr)
+	s.SetSolidBody(30)
+	perturb(s, 5)
+	blewUp := false
+	for i := 0; i < 60; i++ {
+		s.Step(1200)
+		if z := s.MaxAbsGrid(s.Zeta); math.IsNaN(z) || z > 1e-2 {
+			blewUp = true
+			break
+		}
+		if p := s.MaxAbsGrid(s.Phi); math.IsNaN(p) || p > 100*PhiBar {
+			blewUp = true
+			break
+		}
+	}
+	if !blewUp {
+		t.Error("explicit leapfrog survived dt=1200 s at T42; the CFL contrast is gone")
+	}
+}
+
+func TestSemiImplicitMatchesExplicitSmallDt(t *testing.T) {
+	// For dt well inside the CFL limit the two schemes agree closely.
+	tr := t21()
+	a := NewShallowWater(tr)
+	b := NewShallowWater(tr)
+	a.SetSolidBody(30)
+	b.SetSolidBody(30)
+	perturb(a, 6)
+	perturb(b, 6)
+	dt := CFLTimeStep(tr, 0.1)
+	for i := 0; i < 20; i++ {
+		a.Step(dt)
+		b.StepSemiImplicit(dt)
+	}
+	ga := tr.Inverse(a.Zeta)
+	gb := tr.Inverse(b.Zeta)
+	var num, den float64
+	for i := range ga {
+		num += (ga[i] - gb[i]) * (ga[i] - gb[i])
+		den += ga[i] * ga[i]
+	}
+	if rel := math.Sqrt(num / (den + 1e-30)); rel > 0.02 {
+		t.Errorf("schemes diverge at small dt: relative L2 = %v", rel)
+	}
+}
+
+func TestSemiImplicitConservesMass(t *testing.T) {
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.SetSolidBody(25)
+	perturb(s, 7)
+	m0 := s.MeanPhi()
+	dt := 3 * CFLTimeStep(tr, 1.0)
+	for i := 0; i < 40; i++ {
+		s.StepSemiImplicit(dt)
+	}
+	if d := math.Abs(s.MeanPhi() - m0); d > 1e-9*math.Abs(m0) {
+		t.Errorf("mass drifted by %v", d)
+	}
+}
+
+func TestSemiImplicitGravityWavesSlowedNotAmplified(t *testing.T) {
+	// The implicit treatment damps/retards gravity waves but must not
+	// amplify them.
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.Phi[tr.Idx(4, 6)] += complex(80, -30)
+	copy(s.prevPhi, s.Phi)
+	dt := 3 * CFLTimeStep(tr, 1.0)
+	peak0 := s.MaxAbsGrid(s.Delta)
+	for i := 0; i < 50; i++ {
+		s.StepSemiImplicit(dt)
+	}
+	d := s.MaxAbsGrid(s.Delta)
+	if math.IsNaN(d) {
+		t.Fatal("divergence went NaN")
+	}
+	// Divergence appears (wave radiates) but stays bounded.
+	if d > 1e-3 {
+		t.Errorf("divergence grew unphysically: %v (initial %v)", d, peak0)
+	}
+}

@@ -1,0 +1,239 @@
+// Package ccm2 implements a computational-design-faithful skeleton of
+// the NCAR Community Climate Model version 2: spectral-transform dry
+// dynamics on the Gaussian grid (a rotating shallow-water system per
+// model layer), intrinsic-heavy column physics driven by the radabs
+// kernel, shape-preserving semi-Lagrangian moisture transport, and the
+// operational resolutions of Table 4. The package also provides the
+// operation traces and run models that reproduce the paper's CCM2
+// results: Figure 8 (scalability), Table 5 (one-year simulations) and
+// Table 6 (the ensemble test).
+package ccm2
+
+import (
+	"fmt"
+	"math"
+
+	"sx4bench/internal/spharm"
+)
+
+// Physical constants.
+const (
+	Gravity     = 9.80616  // m/s²
+	Omega       = 7.292e-5 // Earth's rotation rate, 1/s
+	PhiBar      = 2.94e4   // mean geopotential gh0 [m²/s²] (~3000 m depth)
+	Nu4         = 1.0e16   // ∇⁴ hyperdiffusion coefficient [m⁴/s]
+	RobertAlpha = 0.03     // Robert-Asselin time filter coefficient
+)
+
+// ShallowWater is one spectral shallow-water layer: prognostic
+// vorticity, divergence and geopotential in spectral space.
+type ShallowWater struct {
+	Tr *spharm.Transform
+
+	Zeta, Delta, Phi             []complex128 // current time level
+	prevZeta, prevDelta, prevPhi []complex128 // previous (leapfrog)
+
+	steps int
+}
+
+// NewShallowWater returns a layer at rest with geopotential PhiBar.
+func NewShallowWater(tr *spharm.Transform) *ShallowWater {
+	s := &ShallowWater{Tr: tr}
+	n := tr.SpecLen()
+	s.Zeta = make([]complex128, n)
+	s.Delta = make([]complex128, n)
+	s.Phi = make([]complex128, n)
+	s.prevZeta = make([]complex128, n)
+	s.prevDelta = make([]complex128, n)
+	s.prevPhi = make([]complex128, n)
+	// Mean geopotential: Φ = PhiBar -> a00 = PhiBar * sqrt(2).
+	s.Phi[tr.Idx(0, 0)] = complex(PhiBar*math.Sqrt2, 0)
+	copy(s.prevPhi, s.Phi)
+	return s
+}
+
+// SetSolidBody initializes the Williamson test-case-2 steady state:
+// zonal solid-body flow u = u0 cosφ in gradient balance with the
+// geopotential field.
+func (s *ShallowWater) SetSolidBody(u0 float64) {
+	tr := s.Tr
+	for i := range s.Zeta {
+		s.Zeta[i], s.Delta[i], s.Phi[i] = 0, 0, 0
+	}
+	// ζ = 2 (u0/a) μ = (2 u0/a) / sqrt(3/2) * P̄_1^0.
+	s.Zeta[tr.Idx(0, 1)] = complex(2*u0/tr.A/math.Sqrt(1.5), 0)
+	// Φ = Φ0 - (aΩu0 + u0²/2) μ²;  μ² = 1/3 + (2/(3 sqrt(5/2))) P̄_2^0.
+	coef := tr.A*Omega*u0 + u0*u0/2
+	s.Phi[tr.Idx(0, 0)] = complex((PhiBar-coef/3)*math.Sqrt2, 0)
+	s.Phi[tr.Idx(0, 2)] = complex(-coef*2/(3*math.Sqrt(2.5)), 0)
+	copy(s.prevZeta, s.Zeta)
+	copy(s.prevDelta, s.Delta)
+	copy(s.prevPhi, s.Phi)
+	s.steps = 0
+}
+
+// Winds synthesizes the scaled winds U = u cosφ, V = v cosφ on the
+// grid from the current spectral state.
+func (s *ShallowWater) Winds() (U, V []float64) { return s.Tr.UV(s.Zeta, s.Delta) }
+
+// Tendencies evaluates the spectral time derivatives of the current
+// state using the transform method: nonlinear products in grid space,
+// derivatives in spectral space.
+func (s *ShallowWater) Tendencies() (dZeta, dDelta, dPhi []complex128) {
+	tr := s.Tr
+	U, V := tr.UV(s.Zeta, s.Delta)
+	zetaG := tr.Inverse(s.Zeta)
+	phiG := tr.Inverse(s.Phi)
+
+	nlat, nlon := tr.NLat, tr.NLon
+	mu := tr.Mu()
+	A := make([]float64, len(U)) // U (ζ+f)
+	B := make([]float64, len(U)) // V (ζ+f)
+	C := make([]float64, len(U)) // U Φ
+	D := make([]float64, len(U)) // V Φ
+	E := make([]float64, len(U)) // kinetic energy (U²+V²)/(2(1-μ²))
+	for j := 0; j < nlat; j++ {
+		f := 2 * Omega * mu[j]
+		oneMinus := 1 - mu[j]*mu[j]
+		for i := 0; i < nlon; i++ {
+			k := j*nlon + i
+			abs := zetaG[k] + f
+			A[k] = U[k] * abs
+			B[k] = V[k] * abs
+			C[k] = U[k] * phiG[k]
+			D[k] = V[k] * phiG[k]
+			E[k] = (U[k]*U[k] + V[k]*V[k]) / (2 * oneMinus)
+		}
+	}
+
+	dZeta = tr.ForwardDiv(A, B)
+	for i := range dZeta {
+		dZeta[i] = -dZeta[i]
+	}
+	negA := make([]float64, len(A))
+	for i := range A {
+		negA[i] = -A[i]
+	}
+	dDelta = tr.ForwardDiv(B, negA)
+	lap := tr.Forward(E)
+	for i := range lap {
+		lap[i] += s.Phi[i]
+	}
+	tr.Laplacian(lap)
+	for i := range dDelta {
+		dDelta[i] -= lap[i]
+	}
+	dPhi = tr.ForwardDiv(C, D)
+	for i := range dPhi {
+		dPhi[i] = -dPhi[i]
+	}
+	return dZeta, dDelta, dPhi
+}
+
+// Step advances the layer by dt seconds with leapfrog time stepping
+// (forward start), Robert-Asselin filtering, and implicit ∇⁴
+// hyperdiffusion.
+func (s *ShallowWater) Step(dt float64) {
+	dZeta, dDelta, dPhi := s.Tendencies()
+	tr := s.Tr
+
+	advance := func(cur, prev, tend []complex128) []complex128 {
+		next := make([]complex128, len(cur))
+		if s.steps == 0 {
+			for i := range next {
+				next[i] = cur[i] + complex(dt, 0)*tend[i]
+			}
+		} else {
+			for i := range next {
+				next[i] = prev[i] + complex(2*dt, 0)*tend[i]
+			}
+		}
+		return next
+	}
+	nZeta := advance(s.Zeta, s.prevZeta, dZeta)
+	nDelta := advance(s.Delta, s.prevDelta, dDelta)
+	nPhi := advance(s.Phi, s.prevPhi, dPhi)
+
+	// Implicit hyperdiffusion on the new time level (not on n=0).
+	for m := 0; m <= tr.T; m++ {
+		for n := m; n <= tr.T; n++ {
+			if n == 0 {
+				continue
+			}
+			ev := float64(n) * float64(n+1) / (tr.A * tr.A)
+			damp := complex(1/(1+2*dt*Nu4*ev*ev), 0)
+			i := tr.Idx(m, n)
+			nZeta[i] *= damp
+			nDelta[i] *= damp
+			nPhi[i] *= damp
+		}
+	}
+
+	// Robert-Asselin filter on the (old) current level.
+	filter := func(cur, prev, next []complex128) {
+		for i := range cur {
+			cur[i] += complex(RobertAlpha, 0) * (prev[i] - 2*cur[i] + next[i])
+		}
+	}
+	filter(s.Zeta, s.prevZeta, nZeta)
+	filter(s.Delta, s.prevDelta, nDelta)
+	filter(s.Phi, s.prevPhi, nPhi)
+
+	s.prevZeta, s.Zeta = s.Zeta, nZeta
+	s.prevDelta, s.Delta = s.Delta, nDelta
+	s.prevPhi, s.Phi = s.Phi, nPhi
+	s.steps++
+}
+
+// MeanPhi returns the global mean geopotential (the conserved mass
+// proxy).
+func (s *ShallowWater) MeanPhi() float64 {
+	return real(s.Phi[s.Tr.Idx(0, 0)]) / math.Sqrt2
+}
+
+// TotalEnergy returns the discrete total energy (kinetic + potential)
+// of the layer, for conservation diagnostics.
+func (s *ShallowWater) TotalEnergy() float64 {
+	tr := s.Tr
+	U, V := tr.UV(s.Zeta, s.Delta)
+	phiG := tr.Inverse(s.Phi)
+	mu := tr.Mu()
+	w := tr.Weights()
+	var e float64
+	for j := 0; j < tr.NLat; j++ {
+		oneMinus := 1 - mu[j]*mu[j]
+		var row float64
+		for i := 0; i < tr.NLon; i++ {
+			k := j*tr.NLon + i
+			ke := (U[k]*U[k] + V[k]*V[k]) / oneMinus / 2
+			row += phiG[k]*ke/Gravity + phiG[k]*phiG[k]/(2*Gravity)
+		}
+		e += w[j] * row / float64(tr.NLon)
+	}
+	return e / 2
+}
+
+// MaxAbsGrid returns the maximum |value| of the grid representation of
+// a spectral field — a cheap blow-up detector.
+func (s *ShallowWater) MaxAbsGrid(spec []complex128) float64 {
+	g := s.Tr.Inverse(spec)
+	m := 0.0
+	for _, v := range g {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// CFLTimeStep returns a stable explicit time step for the layer:
+// dt = cfl * dx_min / c_grav.
+func CFLTimeStep(tr *spharm.Transform, cfl float64) float64 {
+	dx := tr.A * 2 * math.Pi / float64(tr.NLon)
+	c := math.Sqrt(PhiBar)
+	return cfl * dx / c
+}
+
+func (s *ShallowWater) String() string {
+	return fmt.Sprintf("shallow-water T%d (%dx%d)", s.Tr.T, s.Tr.NLat, s.Tr.NLon)
+}

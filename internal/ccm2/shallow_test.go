@@ -1,0 +1,168 @@
+package ccm2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sx4bench/internal/spharm"
+)
+
+func t21() *spharm.Transform { return spharm.New(21, 32, 64) }
+
+func TestSteadySolidBody(t *testing.T) {
+	// Williamson test case 2: solid-body flow in gradient balance is
+	// an exact steady state; the discrete model should hold it.
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.SetSolidBody(30)
+	phi0 := tr.Inverse(s.Phi)
+	dt := CFLTimeStep(tr, 0.4)
+	for i := 0; i < 30; i++ {
+		s.Step(dt)
+	}
+	phi1 := tr.Inverse(s.Phi)
+	// Error relative to the geopotential *deviation* amplitude.
+	var maxDiff, amp float64
+	for i := range phi0 {
+		if d := math.Abs(phi1[i] - phi0[i]); d > maxDiff {
+			maxDiff = d
+		}
+		if d := math.Abs(phi0[i] - PhiBar); d > amp {
+			amp = d
+		}
+	}
+	if maxDiff > 0.02*amp {
+		t.Errorf("steady state drifted: max |ΔΦ| = %v (%.2f%% of deviation %v)",
+			maxDiff, 100*maxDiff/amp, amp)
+	}
+}
+
+func TestTendenciesVanishOnSteadyState(t *testing.T) {
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.SetSolidBody(30)
+	dz, dd, dp := s.Tendencies()
+	// Scale: typical tendency magnitude for this flow would be
+	// ~ u0 * ζ / a ~ 1e-10 if unbalanced; steady state should be
+	// orders below.
+	for i := range dz {
+		if cAbs(dz[i]) > 1e-14 {
+			t.Fatalf("vorticity tendency %v at %d, want ~0", dz[i], i)
+		}
+		if cAbs(dd[i]) > 1e-9 {
+			t.Fatalf("divergence tendency %v at %d, want ~0", dd[i], i)
+		}
+		if cAbs(dp[i]) > 1e-8 {
+			t.Fatalf("geopotential tendency %v at %d, want ~0", dp[i], i)
+		}
+	}
+}
+
+func cAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+func TestMassConservedExactly(t *testing.T) {
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.SetSolidBody(30)
+	perturb(s, 1)
+	m0 := s.MeanPhi()
+	dt := CFLTimeStep(tr, 0.4)
+	for i := 0; i < 50; i++ {
+		s.Step(dt)
+	}
+	if d := math.Abs(s.MeanPhi() - m0); d > 1e-9*math.Abs(m0) {
+		t.Errorf("mean geopotential drifted by %v (from %v)", d, m0)
+	}
+}
+
+// perturb adds a small random rotational disturbance.
+func perturb(s *ShallowWater, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	tr := s.Tr
+	for m := 1; m <= 5; m++ {
+		for n := m; n <= 7; n++ {
+			s.Zeta[tr.Idx(m, n)] += complex(rng.NormFloat64(), rng.NormFloat64()) * 2e-7
+		}
+	}
+	copy(s.prevZeta, s.Zeta)
+}
+
+func TestEnergyApproximatelyConserved(t *testing.T) {
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.SetSolidBody(30)
+	perturb(s, 2)
+	e0 := s.TotalEnergy()
+	dt := CFLTimeStep(tr, 0.4)
+	for i := 0; i < 100; i++ {
+		s.Step(dt)
+	}
+	e1 := s.TotalEnergy()
+	if rel := math.Abs(e1-e0) / math.Abs(e0); rel > 0.01 {
+		t.Errorf("energy drifted by %.3f%% in 100 steps", rel*100)
+	}
+}
+
+func TestStabilityUnderPerturbation(t *testing.T) {
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.SetSolidBody(40)
+	perturb(s, 3)
+	dt := CFLTimeStep(tr, 0.4)
+	for i := 0; i < 200; i++ {
+		s.Step(dt)
+	}
+	if z := s.MaxAbsGrid(s.Zeta); z > 1e-3 || math.IsNaN(z) {
+		t.Errorf("vorticity blew up: max |ζ| = %v", z)
+	}
+	if p := s.MaxAbsGrid(s.Phi); p > 10*PhiBar || math.IsNaN(p) {
+		t.Errorf("geopotential blew up: max |Φ| = %v", p)
+	}
+}
+
+func TestGravityWavePropagates(t *testing.T) {
+	// A localized geopotential bump must radiate gravity waves: the
+	// divergence field, initially zero, becomes nonzero.
+	tr := t21()
+	s := NewShallowWater(tr)
+	s.Phi[tr.Idx(3, 5)] += complex(50, 20)
+	copy(s.prevPhi, s.Phi)
+	dt := CFLTimeStep(tr, 0.4)
+	for i := 0; i < 10; i++ {
+		s.Step(dt)
+	}
+	if d := s.MaxAbsGrid(s.Delta); d == 0 || math.IsNaN(d) {
+		t.Errorf("divergence = %v after geopotential perturbation, want > 0", d)
+	}
+}
+
+func TestCFLTimeStepScales(t *testing.T) {
+	small := CFLTimeStep(t21(), 0.5)
+	big := CFLTimeStep(spharm.New(10, 16, 32), 0.5)
+	if big <= small {
+		t.Errorf("coarser grid should allow a longer step: %v vs %v", big, small)
+	}
+	if small <= 0 {
+		t.Errorf("non-positive time step %v", small)
+	}
+}
+
+func TestHyperdiffusionDampsSmallScales(t *testing.T) {
+	tr := t21()
+	s := NewShallowWater(tr)
+	// Put energy at the truncation limit; it must decay faster than a
+	// large-scale mode.
+	s.Zeta[tr.Idx(21, 21)] = 1e-5
+	s.Zeta[tr.Idx(1, 2)] = 1e-5
+	copy(s.prevZeta, s.Zeta)
+	dt := CFLTimeStep(tr, 0.4)
+	for i := 0; i < 20; i++ {
+		s.Step(dt)
+	}
+	hi := cAbs(s.Zeta[tr.Idx(21, 21)])
+	lo := cAbs(s.Zeta[tr.Idx(1, 2)])
+	if hi >= lo {
+		t.Errorf("truncation-scale mode (%v) should decay faster than planetary mode (%v)", hi, lo)
+	}
+}

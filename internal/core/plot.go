@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePlot renders a Figure as an ASCII chart: log-x/log-y scatter of
+// every series, one glyph per series, with axis annotations — enough
+// to eyeball the shapes the paper's figures show without leaving the
+// terminal.
+func WritePlot(w io.Writer, f Figure, width, height int) error {
+	if width < 20 {
+		width = 72
+	}
+	if height < 8 {
+		height = 20
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Collect ranges over positive values (log axes).
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.X > 0 {
+				minX = math.Min(minX, p.X)
+				maxX = math.Max(maxX, p.X)
+			}
+			if p.Y > 0 {
+				minY = math.Min(minY, p.Y)
+				maxY = math.Max(maxY, p.Y)
+			}
+		}
+	}
+	if math.IsInf(minX, 1) || math.IsInf(minY, 1) || minX == maxX {
+		return fmt.Errorf("core: figure %s has no plottable points", f.ID)
+	}
+	if minY == maxY {
+		maxY = minY * 2
+	}
+	lx0, lx1 := math.Log10(minX), math.Log10(maxX)
+	ly0, ly1 := math.Log10(minY), math.Log10(maxY)
+
+	cells := make([][]byte, height)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			if p.X <= 0 || p.Y <= 0 {
+				continue
+			}
+			cx := int((math.Log10(p.X) - lx0) / (lx1 - lx0) * float64(width-1))
+			cy := int((math.Log10(p.Y) - ly0) / (ly1 - ly0) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				cells[row][cx] = g
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s: %s (log-log)\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for r, line := range cells {
+		label := strings.Repeat(" ", 10)
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.3g ", minY)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s%-*.3g%*.3g\n", "", width/2, minX, width-width/2, maxX); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10sx: %s   y: %s\n", "", f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	for si, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "%10s%c %s\n", "", glyphs[si%len(glyphs)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

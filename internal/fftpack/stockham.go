@@ -1,0 +1,92 @@
+package fftpack
+
+import (
+	"math"
+)
+
+// StockhamMulti computes the forward complex DFT of m independent
+// sequences of length n simultaneously, in the "vector" (VFFT) loop
+// order: the innermost loops run over the instance axis, so every
+// arithmetic statement is a vector operation of length m.
+//
+// Data layout is a(M,N): element (instance j, position p) lives at
+// index p*m+j, i.e. the instance axis is contiguous. The transform is
+// an autosorting Stockham formulation, so no bit-reversal pass is
+// needed. re and im are overwritten with the transform.
+func StockhamMulti(re, im []float64, n, m int, inverse bool) {
+	if len(re) != n*m || len(im) != n*m {
+		panic("fftpack: StockhamMulti shape mismatch")
+	}
+	if n == 1 {
+		return
+	}
+	fs, err := Factorize(n)
+	if err != nil {
+		panic(err)
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Ping-pong buffers.
+	are, aim := re, im
+	bre := make([]float64, n*m)
+	bim := make([]float64, n*m)
+
+	l := 1   // length of already-combined sub-transforms
+	rem := n // elements not yet combined: rem = n / l
+	for _, r := range fs {
+		rem /= r
+		lr := l * r
+		// Combine r sub-transforms of length l into transforms of
+		// length l*r. Input block (q, k, j): index ((q*rem+k)*l + j);
+		// output block (k, p, j): index ((k*r+p)*l + j).
+		for k := 0; k < rem; k++ {
+			for j := 0; j < l; j++ {
+				for p := 0; p < r; p++ {
+					outIdx := ((k*r+p)*l + j) * m
+					// zero the accumulator row
+					for t := 0; t < m; t++ { // vector axis
+						bre[outIdx+t] = 0
+						bim[outIdx+t] = 0
+					}
+					for q := 0; q < r; q++ {
+						ang := sign * 2 * math.Pi * float64(q*(j+p*l)) / float64(lr)
+						wr, wi := math.Cos(ang), math.Sin(ang)
+						inIdx := ((q*rem+k)*l + j) * m
+						for t := 0; t < m; t++ { // vector axis
+							xr, xi := are[inIdx+t], aim[inIdx+t]
+							bre[outIdx+t] += xr*wr - xi*wi
+							bim[outIdx+t] += xr*wi + xi*wr
+						}
+					}
+				}
+			}
+		}
+		are, bre = bre, are
+		aim, bim = bim, aim
+		l = lr
+	}
+	if &are[0] != &re[0] {
+		copy(re, are)
+		copy(im, aim)
+	}
+}
+
+// TransformColsVector computes the real forward transform of m
+// instances stored in the a(M,N) layout (instance axis contiguous,
+// index p*m+j), returning the Hermitian half-spectra as separate real
+// and imaginary planes of shape (n/2+1) x m in the same layout.
+func TransformColsVector(data []float64, n, m int) (hre, him []float64) {
+	if len(data) != n*m {
+		panic("fftpack: data shape mismatch")
+	}
+	re := make([]float64, n*m)
+	im := make([]float64, n*m)
+	copy(re, data)
+	StockhamMulti(re, im, n, m, false)
+	keep := n/2 + 1
+	hre = re[:keep*m]
+	him = im[:keep*m]
+	return hre, him
+}

@@ -1,0 +1,215 @@
+package fftpack
+
+import (
+	"fmt"
+
+	"sx4bench/internal/sx4/prog"
+)
+
+// stage describes one mixed-radix pass over the data.
+type stage struct {
+	radix int
+	span  int // cumulative product of radices before this stage
+}
+
+func stages(n int) []stage {
+	fs, err := Factorize(n)
+	if err != nil {
+		panic(err)
+	}
+	// Factorize returns the large radices first; FFTPACK applies them
+	// in that order, so the expensive wide butterflies run at small
+	// span (long vectors) and the deep short-vector stages are all
+	// radix 2 — in every length family alike.
+	out := make([]stage, len(fs))
+	span := 1
+	for i, r := range fs {
+		out[i] = stage{radix: r, span: span}
+		span *= r
+	}
+	return out
+}
+
+// butterflyFlops is the real-flop cost of one radix-r real-transform
+// butterfly (producing r outputs): complex multiply-adds of the small
+// DFT, halved for real data symmetry.
+func butterflyFlops(r int) int {
+	// The radix-3 and radix-5 passes execute markedly more work per
+	// nominal flop than radix-2 (twiddle handling, register spills in
+	// the wider butterflies), which is why the 3*2^n and 5*2^n curve
+	// families sit below the 2^n family in Figures 6 and 7. The values
+	// are calibration constants of the model.
+	switch r {
+	case 2:
+		return 10 // 6 multiplies + 4 adds
+	case 3:
+		return 34
+	case 5:
+		return 96
+	default:
+		panic(fmt.Sprintf("fftpack: unsupported radix %d", r))
+	}
+}
+
+func butterflyMulAdd(r int) (mul, add int) {
+	switch r {
+	case 2:
+		return 6, 4
+	case 3:
+		return 20, 14
+	case 5:
+		return 56, 40
+	default:
+		panic(fmt.Sprintf("fftpack: unsupported radix %d", r))
+	}
+}
+
+// RFFTTrace builds the operation trace of the "scalar"-style real FFT:
+// m independent transforms of length n, instance loop outermost. The
+// compiler vectorizes the butterfly loops along the transform axis, so
+// vector lengths shrink as stages proceed and strides grow with the
+// stage span — short, strided vectors.
+func RFFTTrace(n, m int) prog.Program {
+	if !Supported(n) {
+		panic(fmt.Sprintf("fftpack: unsupported length %d", n))
+	}
+	p := prog.Program{Name: fmt.Sprintf("RFFT(N=%d,M=%d)", n, m)}
+	var loops []prog.Loop
+	for _, st := range stages(n) {
+		// Per instance and stage: n/(2*radix) butterflies arranged as
+		// `span` groups; the vectorized loop runs within a group.
+		butterflies := n / (2 * st.radix)
+		if butterflies < 1 {
+			butterflies = 1
+		}
+		vl := butterflies / st.span
+		if vl < 1 {
+			vl = 1
+		}
+		trips := (butterflies + vl - 1) / vl
+		mul, add := butterflyMulAdd(st.radix)
+		words := 2 * st.radix // radix complex loads + stores, real-packed
+		loops = append(loops, prog.Loop{
+			Trips: int64(m) * int64(trips),
+			Body: []prog.Op{
+				{Class: prog.VLoad, VL: vl * words / 2, Stride: st.span},
+				{Class: prog.VMul, VL: vl, FlopsPerElem: mul},
+				{Class: prog.VAdd, VL: vl, FlopsPerElem: add},
+				{Class: prog.VStore, VL: vl * words / 2, Stride: st.span},
+			},
+		})
+	}
+	p.Phases = []prog.Phase{{Name: "rfft", Parallel: true, Loops: loops}}
+	return p
+}
+
+// VFFTTrace builds the trace of the "vector"-style real FFT: the same
+// stage structure, but every butterfly statement is vectorized across
+// the m instances (unit stride, vector length m) — long, contiguous
+// vectors whose length is independent of the transform size.
+func VFFTTrace(n, m int) prog.Program {
+	if !Supported(n) {
+		panic(fmt.Sprintf("fftpack: unsupported length %d", n))
+	}
+	p := prog.Program{Name: fmt.Sprintf("VFFT(N=%d,M=%d)", n, m)}
+	var loops []prog.Loop
+	for _, st := range stages(n) {
+		butterflies := n / (2 * st.radix)
+		if butterflies < 1 {
+			butterflies = 1
+		}
+		mul, add := butterflyMulAdd(st.radix)
+		words := 2 * st.radix
+		loops = append(loops, prog.Loop{
+			Trips: int64(butterflies),
+			Body: []prog.Op{
+				{Class: prog.VLoad, VL: m * words / 2, Stride: 1},
+				{Class: prog.VMul, VL: m, FlopsPerElem: mul},
+				{Class: prog.VAdd, VL: m, FlopsPerElem: add},
+				{Class: prog.VStore, VL: m * words / 2, Stride: 1},
+			},
+		})
+	}
+	p.Phases = []prog.Phase{{Name: "vfft", Parallel: true, Loops: loops}}
+	return p
+}
+
+// TraceFlops returns the executed flop count of a trace built by
+// RFFTTrace or VFFTTrace (for cross-checks against Program.Flops).
+func TraceFlops(n, m int) int64 {
+	var total int64
+	for _, st := range stages(n) {
+		b := n / (2 * st.radix)
+		if b < 1 {
+			b = 1
+		}
+		total += int64(b) * int64(butterflyFlops(st.radix))
+	}
+	return total * int64(m)
+}
+
+// RFFTLengths returns the paper's RFFT transform-axis lengths: pure
+// powers of two (n=1..10), 3*2^n (n=0..8), and 5*2^n (n=0..8).
+func RFFTLengths() map[string][]int {
+	out := map[string][]int{}
+	for n := 1; n <= 10; n++ {
+		out["2^n"] = append(out["2^n"], 1<<n)
+	}
+	for n := 0; n <= 8; n++ {
+		out["3*2^n"] = append(out["3*2^n"], 3<<n)
+	}
+	for n := 0; n <= 8; n++ {
+		out["5*2^n"] = append(out["5*2^n"], 5<<n)
+	}
+	return out
+}
+
+// VFFTLengths returns the paper's VFFT transform-axis lengths.
+func VFFTLengths() map[string][]int {
+	out := map[string][]int{}
+	for _, n := range []int{2, 4, 6, 7, 8, 9} {
+		out["2^n"] = append(out["2^n"], 1<<n)
+	}
+	for _, n := range []int{0, 2, 4, 6, 8} {
+		out["3*2^n"] = append(out["3*2^n"], 3<<n)
+	}
+	for _, n := range []int{0, 2, 4, 6, 8} {
+		out["5*2^n"] = append(out["5*2^n"], 5<<n)
+	}
+	return out
+}
+
+// RFFTInstances returns the instance count for an RFFT length: chosen
+// to keep the total element count near 10^6, clamped to the paper's
+// range of 500,000 down to 800.
+func RFFTInstances(n int) int {
+	m := 1_000_000 / n
+	if m > 500_000 {
+		m = 500_000
+	}
+	if m < 800 {
+		m = 800
+	}
+	return m
+}
+
+// VFFTInstanceCounts is the paper's VFFT instance-axis sweep.
+var VFFTInstanceCounts = []int{1, 2, 5, 10, 20, 50, 100, 200, 500}
+
+// NominalMFLOPS converts a measured time for m transforms of length n
+// into the conventional FFT MFLOPS figure.
+func NominalMFLOPS(n, m int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return NominalFlops(n) * float64(m) / seconds / 1e6
+}
+
+// ExecutedEfficiency returns executed/nominal flops, the mixed-radix
+// overhead factor (1 for pure powers of two, >1 otherwise).
+func ExecutedEfficiency(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return float64(TraceFlops(n, 1)) / NominalFlops(n)
+}

@@ -1,0 +1,146 @@
+// Package fp128 emulates the SX-4's 128-bit extended-precision floating
+// point format (Section 2: "IEEE 754 support includes basic 32 and 64
+// bit, and extended precision 128 bit word sizes") as double-double
+// arithmetic: an unevaluated sum of two float64s giving ~106 bits of
+// significand. The classic error-free transformations (Knuth's
+// two-sum, Dekker's two-product via FMA) make the operations exact at
+// that precision.
+package fp128
+
+import (
+	"fmt"
+	"math"
+)
+
+// X128 is a double-double value hi+lo with |lo| <= ulp(hi)/2.
+type X128 struct {
+	Hi, Lo float64
+}
+
+// FromFloat64 widens a float64.
+func FromFloat64(x float64) X128 { return X128{Hi: x} }
+
+// Float64 narrows to the nearest float64.
+func (x X128) Float64() float64 { return x.Hi + x.Lo }
+
+// twoSum returns s, e with s = fl(a+b) and a+b = s+e exactly.
+func twoSum(a, b float64) (s, e float64) {
+	s = a + b
+	bb := s - a
+	e = (a - (s - bb)) + (b - bb)
+	return s, e
+}
+
+// quickTwoSum requires |a| >= |b|.
+func quickTwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	e = b - (s - a)
+	return s, e
+}
+
+// twoProd returns p, e with p = fl(a*b) and a*b = p+e exactly (FMA).
+func twoProd(a, b float64) (p, e float64) {
+	p = a * b
+	e = math.FMA(a, b, -p)
+	return p, e
+}
+
+// Add returns x + y.
+func (x X128) Add(y X128) X128 {
+	s, e := twoSum(x.Hi, y.Hi)
+	e += x.Lo + y.Lo
+	hi, lo := quickTwoSum(s, e)
+	return X128{hi, lo}
+}
+
+// Sub returns x - y.
+func (x X128) Sub(y X128) X128 { return x.Add(y.Neg()) }
+
+// Neg returns -x.
+func (x X128) Neg() X128 { return X128{-x.Hi, -x.Lo} }
+
+// Mul returns x * y.
+func (x X128) Mul(y X128) X128 {
+	p, e := twoProd(x.Hi, y.Hi)
+	e += x.Hi*y.Lo + x.Lo*y.Hi
+	hi, lo := quickTwoSum(p, e)
+	return X128{hi, lo}
+}
+
+// Div returns x / y by Newton refinement of the float64 quotient.
+func (x X128) Div(y X128) X128 {
+	q1 := x.Hi / y.Hi
+	// r = x - q1*y, computed in double-double.
+	r := x.Sub(FromFloat64(q1).Mul(y))
+	q2 := r.Float64() / y.Hi
+	r2 := r.Sub(FromFloat64(q2).Mul(y))
+	q3 := r2.Float64() / y.Hi
+	hi, lo := quickTwoSum(q1, q2)
+	return X128{hi, lo}.Add(FromFloat64(q3))
+}
+
+// Sqrt returns the square root by Newton iteration.
+func (x X128) Sqrt() X128 {
+	if x.Hi < 0 {
+		return X128{math.NaN(), 0}
+	}
+	if x.Hi == 0 {
+		return X128{}
+	}
+	// y0 from hardware, one double-double Newton step:
+	// y = y0 + (x - y0²) / (2 y0).
+	y0 := math.Sqrt(x.Hi)
+	y := FromFloat64(y0)
+	diff := x.Sub(y.Mul(y))
+	corr := diff.Div(FromFloat64(2 * y0))
+	return y.Add(corr)
+}
+
+// Abs returns |x|.
+func (x X128) Abs() X128 {
+	if x.Hi < 0 || (x.Hi == 0 && x.Lo < 0) {
+		return x.Neg()
+	}
+	return x
+}
+
+// Cmp returns -1, 0, +1 comparing x and y.
+func (x X128) Cmp(y X128) int {
+	d := x.Sub(y)
+	switch {
+	case d.Hi < 0 || (d.Hi == 0 && d.Lo < 0):
+		return -1
+	case d.Hi > 0 || (d.Hi == 0 && d.Lo > 0):
+		return 1
+	}
+	return 0
+}
+
+// String formats the value.
+func (x X128) String() string { return fmt.Sprintf("%.17g+%.17g", x.Hi, x.Lo) }
+
+// Sum accumulates a float64 slice in extended precision — the use case
+// the hardware format served: global diagnostics sums over millions of
+// grid points without losing the small contributions.
+func Sum(xs []float64) X128 {
+	var acc X128
+	for _, v := range xs {
+		acc = acc.Add(FromFloat64(v))
+	}
+	return acc
+}
+
+// Dot computes an extended-precision dot product.
+func Dot(a, b []float64) X128 {
+	if len(a) != len(b) {
+		panic("fp128: length mismatch")
+	}
+	var acc X128
+	for i := range a {
+		acc = acc.Add(FromFloat64(a[i]).Mul(FromFloat64(b[i])))
+	}
+	return acc
+}
+
+// Eps is the unit roundoff of the format (~2^-106).
+const Eps = 1.232595164407831e-32

@@ -1,0 +1,202 @@
+package fp128
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts an X128 to a big.Float for reference comparisons.
+func toBig(x X128) *big.Float {
+	f := new(big.Float).SetPrec(200).SetFloat64(x.Hi)
+	return f.Add(f, new(big.Float).SetPrec(200).SetFloat64(x.Lo))
+}
+
+// relErr returns |got-want|/|want| using 200-bit reference arithmetic.
+func relErr(got X128, want *big.Float) float64 {
+	diff := new(big.Float).SetPrec(200).Sub(toBig(got), want)
+	if want.Sign() == 0 {
+		d, _ := diff.Float64()
+		return math.Abs(d)
+	}
+	diff.Quo(diff, new(big.Float).Abs(want))
+	d, _ := diff.Float64()
+	return math.Abs(d)
+}
+
+func TestAddExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		b := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		got := FromFloat64(a).Add(FromFloat64(b))
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Add(want, new(big.Float).SetPrec(200).SetFloat64(b))
+		if e := relErr(got, want); e > 4*Eps {
+			t.Fatalf("add(%v,%v) error %g", a, b, e)
+		}
+	}
+}
+
+func TestMulExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		got := FromFloat64(a).Mul(FromFloat64(b))
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Mul(want, new(big.Float).SetPrec(200).SetFloat64(b))
+		if e := relErr(got, want); e > 4*Eps {
+			t.Fatalf("mul(%v,%v) error %g", a, b, e)
+		}
+	}
+}
+
+func TestDivAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		if math.Abs(b) < 1e-6 {
+			continue
+		}
+		got := FromFloat64(a).Div(FromFloat64(b))
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Quo(want, new(big.Float).SetPrec(200).SetFloat64(b))
+		if e := relErr(got, want); e > 16*Eps {
+			t.Fatalf("div(%v,%v) error %g", a, b, e)
+		}
+	}
+}
+
+func TestSqrtAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		a := math.Abs(rng.NormFloat64()) * math.Pow(10, float64(rng.Intn(12)-6))
+		got := FromFloat64(a).Sqrt()
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Sqrt(want)
+		if e := relErr(got, want); e > 16*Eps {
+			t.Fatalf("sqrt(%v) error %g", a, e)
+		}
+	}
+	if !math.IsNaN(FromFloat64(-1).Sqrt().Hi) {
+		t.Error("sqrt(-1) != NaN")
+	}
+	if FromFloat64(0).Sqrt() != (X128{}) {
+		t.Error("sqrt(0) != 0")
+	}
+}
+
+func TestBeatsFloat64OnCancellation(t *testing.T) {
+	// (1 + 1e-20) - 1 vanishes in float64 but not in the 128-bit format.
+	one := FromFloat64(1)
+	tiny := FromFloat64(1e-20)
+	d := one.Add(tiny).Sub(one)
+	if d.Float64() == 0 {
+		t.Fatal("128-bit format lost a 1e-20 increment")
+	}
+	if math.Abs(d.Float64()-1e-20) > 1e-30 {
+		t.Errorf("residual %g, want 1e-20", d.Float64())
+	}
+	// Control in float64 (variables defeat exact constant folding).
+	fOne, fTiny := 1.0, 1e-20
+	if (fOne+fTiny)-fOne != 0 {
+		t.Error("float64 control failed: host arithmetic too precise?")
+	}
+}
+
+func TestSumBeatsNaiveAccumulation(t *testing.T) {
+	// The diagnostics use case: many tiny values after one big one.
+	n := 1_000_000
+	xs := make([]float64, n+1)
+	xs[0] = 1e16
+	for i := 1; i <= n; i++ {
+		xs[i] = 1.0
+	}
+	var naive float64
+	for _, v := range xs {
+		naive += v
+	}
+	ext := Sum(xs).Float64()
+	want := 1e16 + float64(n)
+	if math.Abs(ext-want) > 1 {
+		t.Errorf("extended sum %v, want %v", ext, want)
+	}
+	if math.Abs(naive-want) < math.Abs(ext-want) {
+		t.Error("naive accumulation beat extended precision; test premise broken")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float64{1e8, 1, -1e8}
+	b := []float64{1e8, 1, 1e8}
+	// 1e16 + 1 - 1e16 = 1: float64 loses the 1.
+	if got := Dot(a, b).Float64(); got != 1 {
+		t.Errorf("extended dot = %v, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestCmpAndAbs(t *testing.T) {
+	a := FromFloat64(2)
+	b := FromFloat64(3)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp wrong")
+	}
+	// Equal hi, differing lo.
+	x := X128{1, 1e-25}
+	y := X128{1, 2e-25}
+	if x.Cmp(y) != -1 {
+		t.Error("Cmp ignores the low word")
+	}
+	if FromFloat64(-5).Abs().Float64() != 5 {
+		t.Error("Abs wrong")
+	}
+	if (X128{0, -1e-30}).Abs().Lo <= 0 {
+		t.Error("Abs ignores low-word sign at hi==0")
+	}
+}
+
+func TestQuickFieldAxioms(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) ||
+			math.Abs(a) > 1e100 || math.Abs(b) > 1e100 || math.Abs(c) > 1e100 {
+			return true
+		}
+		A, B, C := FromFloat64(a), FromFloat64(b), FromFloat64(c)
+		// Commutativity is exact.
+		if A.Add(B) != B.Add(A) || A.Mul(B) != B.Mul(A) {
+			return false
+		}
+		// a + b - b recovers a exactly at double-double precision when
+		// magnitudes are comparable.
+		if math.Abs(a) < 1e50 && math.Abs(b) < 1e50 {
+			r := A.Add(B).Sub(B)
+			diff := r.Sub(A).Abs().Float64()
+			scale := math.Max(math.Abs(a), math.Abs(b))
+			if diff > 1e-30*scale {
+				return false
+			}
+		}
+		_ = C
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if FromFloat64(1.5).String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,149 @@
+// Package gauss provides Gauss-Legendre quadrature and normalized
+// associated Legendre functions: the latitude-direction machinery of
+// the spectral transform method used by CCM2.
+//
+// The quadrature nodes are the roots of the Legendre polynomial P_n,
+// found by Newton iteration from asymptotic initial guesses; the
+// associated Legendre functions use the standard stable three-term
+// recurrence in degree for fixed order, fully normalized so that the
+// Gaussian quadrature of P̄_n^m * P̄_n'^m over [-1,1] is exactly
+// delta(n,n').
+package gauss
+
+import (
+	"fmt"
+	"math"
+)
+
+// Nodes returns the n Gauss-Legendre quadrature points (ascending, in
+// (-1,1)) and weights for exact integration of polynomials of degree
+// 2n-1 on [-1,1].
+func Nodes(n int) (x, w []float64) {
+	if n < 1 {
+		panic(fmt.Sprintf("gauss: non-positive node count %d", n))
+	}
+	x = make([]float64, n)
+	w = make([]float64, n)
+	for i := 0; i < (n+1)/2; i++ {
+		// Asymptotic initial guess for the i-th root (from the top).
+		guess := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		root, dp := newtonLegendre(n, guess)
+		x[n-1-i] = root
+		x[i] = -root
+		wi := 2 / ((1 - root*root) * dp * dp)
+		w[n-1-i] = wi
+		w[i] = wi
+	}
+	if n%2 == 1 {
+		x[n/2] = 0
+		_, dp := legendreAndDeriv(n, 0)
+		w[n/2] = 2 / (dp * dp)
+	}
+	return x, w
+}
+
+// newtonLegendre refines a root of P_n by Newton iteration, returning
+// the root and P_n'(root).
+func newtonLegendre(n int, x0 float64) (root, deriv float64) {
+	x := x0
+	for iter := 0; iter < 100; iter++ {
+		p, dp := legendreAndDeriv(n, x)
+		dx := p / dp
+		x -= dx
+		if math.Abs(dx) < 1e-15 {
+			break
+		}
+	}
+	_, dp := legendreAndDeriv(n, x)
+	return x, dp
+}
+
+// legendreAndDeriv evaluates P_n(x) and P_n'(x) by the standard
+// recurrence.
+func legendreAndDeriv(n int, x float64) (p, dp float64) {
+	p0, p1 := 1.0, x
+	if n == 0 {
+		return 1, 0
+	}
+	for k := 2; k <= n; k++ {
+		p0, p1 = p1, ((2*float64(k)-1)*x*p1-(float64(k)-1)*p0)/float64(k)
+	}
+	// P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+	dp = float64(n) * (x*p1 - p0) / (x*x - 1)
+	return p1, dp
+}
+
+// Pbar computes the fully normalized associated Legendre functions
+// P̄_n^m(x) for 0 <= m <= mmax and m <= n <= nmax, returned in a flat
+// slice indexed by PbarIdx. The normalization is
+//
+//	∫_{-1}^{1} P̄_n^m(x) P̄_n'^m(x) dx = delta(n, n'),
+//
+// i.e. P̄_n^m = sqrt((2n+1)/2 * (n-m)!/(n+m)!) * P_n^m (no
+// Condon-Shortley phase).
+func Pbar(mmax, nmax int, x float64) []float64 {
+	if mmax < 0 || nmax < mmax {
+		panic(fmt.Sprintf("gauss: bad truncation mmax=%d nmax=%d", mmax, nmax))
+	}
+	out := make([]float64, PbarLen(mmax, nmax))
+	sinTheta := math.Sqrt(1 - x*x)
+
+	// Sectoral seed: P̄_0^0 = 1/sqrt(2);
+	// P̄_m^m = sqrt((2m+1)/(2m)) * sinTheta * P̄_{m-1}^{m-1}.
+	pmm := 1 / math.Sqrt2
+	for m := 0; m <= mmax; m++ {
+		if m > 0 {
+			pmm *= math.Sqrt((2*float64(m)+1)/(2*float64(m))) * sinTheta
+		}
+		out[PbarIdx(mmax, nmax, m, m)] = pmm
+		if m+1 <= nmax {
+			// P̄_{m+1}^m = sqrt(2m+3) * x * P̄_m^m.
+			out[PbarIdx(mmax, nmax, m, m+1)] = math.Sqrt(2*float64(m)+3) * x * pmm
+		}
+		for n := m + 2; n <= nmax; n++ {
+			fn, fm := float64(n), float64(m)
+			a := math.Sqrt((4*fn*fn - 1) / (fn*fn - fm*fm))
+			b := math.Sqrt(((2*fn + 1) * (fn - 1 + fm) * (fn - 1 - fm)) /
+				((2*fn - 3) * (fn*fn - fm*fm)))
+			out[PbarIdx(mmax, nmax, m, n)] =
+				a*x*out[PbarIdx(mmax, nmax, m, n-1)] - b*out[PbarIdx(mmax, nmax, m, n-2)]
+		}
+	}
+	return out
+}
+
+// PbarLen returns the slice length used by Pbar for the truncation.
+func PbarLen(mmax, nmax int) int {
+	// For each m: n runs m..nmax -> (nmax-m+1) entries.
+	total := 0
+	for m := 0; m <= mmax; m++ {
+		total += nmax - m + 1
+	}
+	return total
+}
+
+// PbarIdx returns the flat index of P̄_n^m in a Pbar slice.
+func PbarIdx(mmax, nmax, m, n int) int {
+	if m < 0 || m > mmax || n < m || n > nmax {
+		panic(fmt.Sprintf("gauss: index (m=%d,n=%d) outside truncation (%d,%d)", m, n, mmax, nmax))
+	}
+	// Offset of block m: sum_{k<m} (nmax-k+1).
+	off := m*(nmax+1) - m*(m-1)/2
+	return off + (n - m)
+}
+
+// Epsilon returns ε_n^m = sqrt((n²-m²)/(4n²-1)), the coupling
+// coefficient of the meridional-derivative recurrence
+//
+//	(1-x²) dP̄_n^m/dx = (n+1) ε_n^m P̄_{n-1}^m - n ε_{n+1}^m P̄_{n+1}^m.
+func Epsilon(m, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	fn, fm := float64(n), float64(m)
+	num := fn*fn - fm*fm
+	if num <= 0 {
+		return 0
+	}
+	return math.Sqrt(num / (4*fn*fn - 1))
+}

@@ -1,0 +1,218 @@
+package gauss
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNodesLowOrderExact(t *testing.T) {
+	// n=2: x = ±1/sqrt(3), w = 1.
+	x, w := Nodes(2)
+	if math.Abs(x[0]+1/math.Sqrt(3)) > 1e-14 || math.Abs(x[1]-1/math.Sqrt(3)) > 1e-14 {
+		t.Errorf("2-point nodes = %v", x)
+	}
+	if math.Abs(w[0]-1) > 1e-14 || math.Abs(w[1]-1) > 1e-14 {
+		t.Errorf("2-point weights = %v", w)
+	}
+}
+
+func TestWeightsSumToTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 32, 64, 128, 256} {
+		_, w := Nodes(n)
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-2) > 1e-12 {
+			t.Errorf("n=%d: weights sum to %v, want 2", n, sum)
+		}
+	}
+}
+
+func TestNodesSortedSymmetric(t *testing.T) {
+	for _, n := range []int{4, 5, 64, 65} {
+		x, w := Nodes(n)
+		for i := 1; i < n; i++ {
+			if x[i] <= x[i-1] {
+				t.Fatalf("n=%d: nodes not ascending at %d", n, i)
+			}
+		}
+		for i := 0; i < n/2; i++ {
+			if math.Abs(x[i]+x[n-1-i]) > 1e-13 {
+				t.Errorf("n=%d: nodes not symmetric at %d", n, i)
+			}
+			if math.Abs(w[i]-w[n-1-i]) > 1e-13 {
+				t.Errorf("n=%d: weights not symmetric at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestQuadratureExactForPolynomials(t *testing.T) {
+	// n-point Gauss-Legendre integrates x^k exactly for k <= 2n-1.
+	x, w := Nodes(8)
+	for k := 0; k <= 15; k++ {
+		got := 0.0
+		for i := range x {
+			got += w[i] * math.Pow(x[i], float64(k))
+		}
+		want := 0.0
+		if k%2 == 0 {
+			want = 2 / float64(k+1)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("∫x^%d = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestQuadratureSmoothFunction(t *testing.T) {
+	x, w := Nodes(64)
+	got := 0.0
+	for i := range x {
+		got += w[i] * math.Exp(x[i])
+	}
+	want := math.E - 1/math.E
+	if math.Abs(got-want) > 1e-13 {
+		t.Errorf("∫exp = %v, want %v", got, want)
+	}
+}
+
+func TestPbarLowOrderValues(t *testing.T) {
+	// Explicit normalized values:
+	// P̄_0^0 = 1/sqrt(2), P̄_1^0 = sqrt(3/2) x,
+	// P̄_1^1 = sqrt(3)/2 * sqrt(2) * sinθ / ... = sqrt(3)/2 * sinθ * sqrt(2)? compute:
+	// P̄_1^1 = sqrt(3/4) * sinθ  (from ∫ (P̄_1^1)^2 = 1 with P_1^1 = sinθ).
+	for _, x := range []float64{-0.7, 0, 0.3, 0.9} {
+		sin := math.Sqrt(1 - x*x)
+		p := Pbar(2, 2, x)
+		if got, want := p[PbarIdx(2, 2, 0, 0)], 1/math.Sqrt2; math.Abs(got-want) > 1e-14 {
+			t.Errorf("P00(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := p[PbarIdx(2, 2, 0, 1)], math.Sqrt(1.5)*x; math.Abs(got-want) > 1e-14 {
+			t.Errorf("P10(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := p[PbarIdx(2, 2, 1, 1)], math.Sqrt(0.75)*sin; math.Abs(got-want) > 1e-14 {
+			t.Errorf("P11(%v) = %v, want %v", x, got, want)
+		}
+		// P̄_2^0 = sqrt(5/2) * (3x²-1)/2.
+		if got, want := p[PbarIdx(2, 2, 0, 2)], math.Sqrt(2.5)*(3*x*x-1)/2; math.Abs(got-want) > 1e-13 {
+			t.Errorf("P20(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPbarOrthonormal(t *testing.T) {
+	const mmax, nmax, nq = 10, 12, 32
+	x, w := Nodes(nq)
+	pb := make([][]float64, nq)
+	for j := range x {
+		pb[j] = Pbar(mmax, nmax, x[j])
+	}
+	for m := 0; m <= mmax; m++ {
+		for n1 := m; n1 <= nmax; n1++ {
+			for n2 := m; n2 <= nmax; n2++ {
+				sum := 0.0
+				for j := 0; j < nq; j++ {
+					sum += w[j] * pb[j][PbarIdx(mmax, nmax, m, n1)] * pb[j][PbarIdx(mmax, nmax, m, n2)]
+				}
+				want := 0.0
+				if n1 == n2 {
+					want = 1
+				}
+				if math.Abs(sum-want) > 1e-11 {
+					t.Fatalf("<P̄_%d^%d, P̄_%d^%d> = %v, want %v", n1, m, n2, m, sum, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPbarIdxLayout(t *testing.T) {
+	mmax, nmax := 5, 7
+	want := 0
+	for m := 0; m <= mmax; m++ {
+		for n := m; n <= nmax; n++ {
+			if got := PbarIdx(mmax, nmax, m, n); got != want {
+				t.Fatalf("PbarIdx(%d,%d) = %d, want %d", m, n, got, want)
+			}
+			want++
+		}
+	}
+	if PbarLen(mmax, nmax) != want {
+		t.Errorf("PbarLen = %d, want %d", PbarLen(mmax, nmax), want)
+	}
+}
+
+func TestPbarIdxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-truncation index did not panic")
+		}
+	}()
+	PbarIdx(4, 4, 2, 1) // n < m
+}
+
+func TestEpsilonRecurrenceDerivative(t *testing.T) {
+	// Verify (1-x²) dP̄_n^m/dx = (n+1)ε_n^m P̄_{n-1}^m - n ε_{n+1}^m P̄_{n+1}^m
+	// against a central finite difference.
+	const mmax, nmax = 6, 9
+	x := 0.37
+	h := 1e-6
+	pPlus := Pbar(mmax, nmax+1, x+h)
+	pMinus := Pbar(mmax, nmax+1, x-h)
+	p := Pbar(mmax, nmax+1, x)
+	for m := 0; m <= mmax; m++ {
+		for n := m; n <= nmax; n++ {
+			fd := (1 - x*x) * (pPlus[PbarIdx(mmax, nmax+1, m, n)] - pMinus[PbarIdx(mmax, nmax+1, m, n)]) / (2 * h)
+			var below float64
+			if n-1 >= m {
+				below = p[PbarIdx(mmax, nmax+1, m, n-1)]
+			}
+			above := p[PbarIdx(mmax, nmax+1, m, n+1)]
+			want := float64(n+1)*Epsilon(m, n)*below - float64(n)*Epsilon(m, n+1)*above
+			if math.Abs(fd-want) > 1e-7*(1+math.Abs(want)) {
+				t.Errorf("derivative recurrence fails at m=%d n=%d: fd=%v want=%v", m, n, fd, want)
+			}
+		}
+	}
+}
+
+func TestPbarParity(t *testing.T) {
+	// P̄_n^m(-x) = (-1)^{n+m} P̄_n^m(x) (no Condon-Shortley phase).
+	const mmax, nmax = 8, 10
+	for _, x := range []float64{0.13, 0.47, 0.82} {
+		plus := Pbar(mmax, nmax, x)
+		minus := Pbar(mmax, nmax, -x)
+		for m := 0; m <= mmax; m++ {
+			for n := m; n <= nmax; n++ {
+				want := plus[PbarIdx(mmax, nmax, m, n)]
+				if (n+m)%2 == 1 {
+					want = -want
+				}
+				if got := minus[PbarIdx(mmax, nmax, m, n)]; math.Abs(got-want) > 1e-12 {
+					t.Fatalf("parity fails at (m=%d,n=%d,x=%v): %v vs %v", m, n, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPbarBounded(t *testing.T) {
+	// Normalized associated Legendre functions stay O(sqrt(n)).
+	p := Pbar(20, 24, 0.3)
+	for i, v := range p {
+		if math.Abs(v) > 10 || math.IsNaN(v) {
+			t.Fatalf("P̄[%d] = %v, unexpectedly large", i, v)
+		}
+	}
+}
+
+func TestNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Nodes(0) did not panic")
+		}
+	}()
+	Nodes(0)
+}

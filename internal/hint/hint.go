@@ -1,0 +1,120 @@
+// Package hint implements the HINT benchmark of Gustafson and Snell
+// (HICSS-28, 1995): hierarchical integration producing rational bounds
+// on the area under y = (1-x)/(1+x) for x in [0,1], measured in QUIPS
+// (quality improvements per second).
+//
+// Two things are provided: the real algorithm (run on the host, used to
+// verify the mathematics — the bounds bracket the true area 2 ln 2 - 1
+// and quality improves monotonically), and an analytic QUIPS model for
+// the machine models of Table 1. HINT's working set is small and its
+// work scalar and branchy, which is why it ranks cache-based
+// workstations above parallel vector processors — the inversion the
+// paper criticizes.
+package hint
+
+import (
+	"container/heap"
+	"math"
+
+	"sx4bench/internal/machine"
+	"sx4bench/internal/sx4/spu"
+)
+
+// TrueArea is the exact integral of (1-x)/(1+x) over [0,1].
+var TrueArea = 2*math.Ln2 - 1
+
+func f(x float64) float64 { return (1 - x) / (1 + x) }
+
+// interval is one subdivision cell. f is decreasing on [0,1], so the
+// lower bound uses the right endpoint and the upper bound the left.
+type interval struct {
+	a, b float64
+}
+
+func (iv interval) lower() float64 { return f(iv.b) * (iv.b - iv.a) }
+func (iv interval) upper() float64 { return f(iv.a) * (iv.b - iv.a) }
+func (iv interval) gap() float64   { return iv.upper() - iv.lower() }
+
+// gapHeap orders intervals by descending bound gap.
+type gapHeap []interval
+
+func (h gapHeap) Len() int           { return len(h) }
+func (h gapHeap) Less(i, j int) bool { return h[i].gap() > h[j].gap() }
+func (h gapHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *gapHeap) Push(x any)        { *h = append(*h, x.(interval)) }
+func (h *gapHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Step is one quality improvement: the state after a subdivision.
+type Step struct {
+	Iteration int
+	Lower     float64
+	Upper     float64
+	Quality   float64
+}
+
+// Run performs n hierarchical subdivisions and returns the recorded
+// steps (one per iteration).
+func Run(n int) []Step {
+	h := &gapHeap{{0, 1}}
+	lower := (*h)[0].lower()
+	upper := (*h)[0].upper()
+	steps := make([]Step, 0, n)
+	for i := 0; i < n; i++ {
+		worst := heap.Pop(h).(interval)
+		lower -= worst.lower()
+		upper -= worst.upper()
+		mid := 0.5 * (worst.a + worst.b)
+		left := interval{worst.a, mid}
+		right := interval{mid, worst.b}
+		lower += left.lower() + right.lower()
+		upper += left.upper() + right.upper()
+		heap.Push(h, left)
+		heap.Push(h, right)
+		steps = append(steps, Step{
+			Iteration: i + 1,
+			Lower:     lower,
+			Upper:     upper,
+			Quality:   1 / (upper - lower),
+		})
+	}
+	return steps
+}
+
+// Model parameters: the cost of one HINT subdivision in machine terms,
+// and the average quality gained per subdivision. The work is scalar
+// (heap bookkeeping, two function evaluations, bound updates) over a
+// small working set.
+const (
+	opsPerStep     = 40.0
+	wordsPerStep   = 10.0
+	qualityPerStep = 2.0
+)
+
+// ModelMQUIPS estimates the machine's HINT score in millions of QUIPS
+// from its scalar profile.
+func ModelMQUIPS(p machine.ScalarProfile) float64 {
+	clocks := opsPerStep / p.IssuePerClock
+	if p.HasCache {
+		clocks += wordsPerStep / p.CacheWordsPerClock
+	} else {
+		clocks += wordsPerStep * p.MemClocksPerWord
+	}
+	stepSeconds := clocks * p.ClockNS * 1e-9
+	return qualityPerStep / stepSeconds / 1e6
+}
+
+// FromSPU estimates MQUIPS from a detailed scalar-unit model (package
+// spu) at a clock: the HINT working set is cache resident, with a few
+// data-dependent branches per subdivision. This gives the SX-4's own
+// HINT score — a respectable workstation-class number that sees none
+// of the vector unit, which is precisely the paper's complaint.
+func FromSPU(u spu.Unit, clockNS float64) float64 {
+	clocks := u.Clocks(spu.Loop{
+		Iterations:      1,
+		Instructions:    opsPerStep,
+		MemRefs:         wordsPerStep,
+		Branches:        4,
+		WorkingSetBytes: 32 << 10,
+	})
+	return qualityPerStep / (clocks * clockNS * 1e-9) / 1e6
+}

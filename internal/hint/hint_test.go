@@ -1,0 +1,128 @@
+package hint
+
+import (
+	"math"
+	"testing"
+
+	"sx4bench/internal/machine"
+	"sx4bench/internal/sx4"
+	"sx4bench/internal/sx4/spu"
+)
+
+func TestBoundsBracketTrueArea(t *testing.T) {
+	steps := Run(5000)
+	last := steps[len(steps)-1]
+	if last.Lower > TrueArea || last.Upper < TrueArea {
+		t.Errorf("bounds [%v, %v] do not bracket true area %v", last.Lower, last.Upper, TrueArea)
+	}
+	for _, s := range steps {
+		if s.Lower > TrueArea+1e-12 || s.Upper < TrueArea-1e-12 {
+			t.Fatalf("iteration %d bounds [%v,%v] exclude true area", s.Iteration, s.Lower, s.Upper)
+		}
+	}
+}
+
+func TestQualityImprovesMonotonically(t *testing.T) {
+	steps := Run(2000)
+	prev := 0.0
+	for _, s := range steps {
+		if s.Quality < prev {
+			t.Fatalf("quality decreased at iteration %d: %v < %v", s.Iteration, s.Quality, prev)
+		}
+		prev = s.Quality
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	steps := Run(20000)
+	last := steps[len(steps)-1]
+	gap := last.Upper - last.Lower
+	if gap > 1e-3 {
+		t.Errorf("after 20000 subdivisions gap = %v, want < 1e-3", gap)
+	}
+	mid := 0.5 * (last.Upper + last.Lower)
+	if math.Abs(mid-TrueArea) > 1e-3 {
+		t.Errorf("midpoint %v far from true area %v", mid, TrueArea)
+	}
+}
+
+func TestQualityScalesLinearly(t *testing.T) {
+	// Hierarchical subdivision of this smooth integrand gains quality
+	// roughly linearly in the subdivision count.
+	steps := Run(8000)
+	q2000 := steps[1999].Quality
+	q8000 := steps[7999].Quality
+	ratio := q8000 / q2000
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("quality scaling 8000/2000 = %.2f, want within [2, 8]", ratio)
+	}
+}
+
+func TestModelMQUIPSTable1(t *testing.T) {
+	// Paper Table 1 HINT MQUIPS: Sparc20 3.5, RS6K/590 5.2, J90 1.7,
+	// Y-MP 3.1. Accept ±30%.
+	cases := []struct {
+		target machine.Target
+		paper  float64
+	}{
+		{machine.SunSparc20(), 3.5},
+		{machine.IBMRS6000590(), 5.2},
+		{machine.CrayJ90(), 1.7},
+		{machine.CrayYMP(), 3.1},
+	}
+	for _, c := range cases {
+		got := ModelMQUIPS(c.target.Scalar())
+		lo, hi := 0.7*c.paper, 1.3*c.paper
+		if got < lo || got > hi {
+			t.Errorf("%s HINT = %.2f MQUIPS, want within [%.2f, %.2f] (paper %.1f)",
+				c.target.Name(), got, lo, hi, c.paper)
+		}
+	}
+}
+
+func TestHINTInversionVsRADABS(t *testing.T) {
+	// The paper's criticism: HINT ranks the workstations above the
+	// vector machines, opposite to their climate-kernel performance.
+	sparc := ModelMQUIPS(machine.SunSparc20().Scalar())
+	rs6k := ModelMQUIPS(machine.IBMRS6000590().Scalar())
+	j90 := ModelMQUIPS(machine.CrayJ90().Scalar())
+	ymp := ModelMQUIPS(machine.CrayYMP().Scalar())
+	if !(sparc > j90 && sparc > ymp && rs6k > ymp) {
+		t.Errorf("HINT inversion absent: sparc=%.2f rs6k=%.2f j90=%.2f ymp=%.2f",
+			sparc, rs6k, j90, ymp)
+	}
+}
+
+func TestFromSPUSX4Score(t *testing.T) {
+	// The SX-4's scalar unit scores like a good workstation on HINT —
+	// the vector unit (97% of the machine's arithmetic capability) is
+	// invisible to the metric.
+	sx4Score := FromSPU(spu.NewSX4(), 9.2)
+	j90 := ModelMQUIPS(machine.CrayJ90().Scalar())
+	rad := 865.9 / 178.1 // SX-4/YMP RADABS ratio from the paper
+	hintRatio := sx4Score / ModelMQUIPS(machine.CrayYMP().Scalar())
+	if sx4Score < 3 || sx4Score > 15 {
+		t.Errorf("SX-4 HINT = %.1f MQUIPS, want workstation-class [3, 15]", sx4Score)
+	}
+	if sx4Score <= j90 {
+		t.Errorf("SX-4 scalar unit (%.1f) should outrun the J90's (%.1f)", sx4Score, j90)
+	}
+	if hintRatio >= rad {
+		t.Errorf("HINT's SX-4/YMP ratio (%.2f) should understate the RADABS ratio (%.2f)", hintRatio, rad)
+	}
+}
+
+func TestSX4ScalarProfileWorks(t *testing.T) {
+	// The SX-4's superscalar unit with its 64KB cache gets a
+	// respectable HINT score — the metric just doesn't see the vector
+	// unit at all.
+	p := machine.ScalarProfile{
+		ClockNS:       sx4.Benchmarked().ClockNS,
+		IssuePerClock: 2,
+		HasCache:      true, CacheWordsPerClock: 2,
+	}
+	got := ModelMQUIPS(p)
+	if got < 4 || got > 20 {
+		t.Errorf("SX-4 scalar-unit MQUIPS = %.1f, want within [4, 20]", got)
+	}
+}

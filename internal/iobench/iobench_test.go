@@ -1,0 +1,134 @@
+package iobench
+
+import (
+	"testing"
+
+	"sx4bench/internal/ccm2"
+	"sx4bench/internal/sx4/iop"
+)
+
+func TestHistoryWriteScalesWithResolution(t *testing.T) {
+	d := iop.NewDisk()
+	sweep := IOSweep(d)
+	if len(sweep) != len(ccm2.Resolutions) {
+		t.Fatalf("sweep covers %d resolutions", len(sweep))
+	}
+	prev := 0.0
+	for _, h := range sweep {
+		if h.Seconds <= prev {
+			t.Errorf("%s write (%v s) should exceed the coarser resolution (%v s)",
+				h.Resolution.Name, h.Seconds, prev)
+		}
+		prev = h.Seconds
+		if h.MBps < 10 || h.MBps > 60 {
+			t.Errorf("%s effective rate = %.1f MB/s, want within [10, 60] for a 60 MB/s array",
+				h.Resolution.Name, h.MBps)
+		}
+		if h.Records != h.Resolution.NLat {
+			t.Errorf("%s has %d records, want one per latitude (%d)",
+				h.Resolution.Name, h.Records, h.Resolution.NLat)
+		}
+	}
+}
+
+func TestConcurrentWritersReleaseCPUsFaster(t *testing.T) {
+	sub := iop.New()
+	res, _ := ccm2.ResolutionByName("T63L18")
+	prev := ConcurrentIOResult{}
+	for i, writers := range []int{1, 2, 4, 8, 16, 32} {
+		r := ConcurrentHistoryWrite(sub, res, writers)
+		if i > 0 {
+			if r.CPUSeconds > prev.CPUSeconds*1.0001 {
+				t.Errorf("%d writers: CPU time %v grew from %v", writers, r.CPUSeconds, prev.CPUSeconds)
+			}
+			// The disk is the shared sink: its time does not improve.
+			if r.DiskSeconds < prev.DiskSeconds*0.9999 {
+				t.Errorf("%d writers: disk time %v improved from %v (one array!)",
+					writers, r.DiskSeconds, prev.DiskSeconds)
+			}
+		}
+		prev = r
+	}
+	// CPUs detach long before the disk finishes: the IOPs are
+	// asynchronous engines.
+	r32 := ConcurrentHistoryWrite(sub, res, 32)
+	if r32.CPUSeconds >= r32.DiskSeconds {
+		t.Errorf("CPU-blocked time %v should be far below disk time %v", r32.CPUSeconds, r32.DiskSeconds)
+	}
+}
+
+func TestConcurrentWritersClamped(t *testing.T) {
+	sub := iop.New()
+	res, _ := ccm2.ResolutionByName("T42L18")
+	a := ConcurrentHistoryWrite(sub, res, 0)
+	if a.Writers != 1 {
+		t.Errorf("writers clamped to %d, want 1", a.Writers)
+	}
+	b := ConcurrentHistoryWrite(sub, res, 1000)
+	if b.Writers != res.NLat {
+		t.Errorf("writers clamped to %d, want %d (one per record)", b.Writers, res.NLat)
+	}
+}
+
+func TestHIPPISweepShape(t *testing.T) {
+	s := iop.New()
+	pts := HIPPISweep(s, 256<<20)
+	if len(pts) != 12 {
+		t.Fatalf("sweep has %d points, want 12", len(pts))
+	}
+	for _, p := range pts {
+		if p.AggregateMBps <= 0 || p.PerTransferMBps <= 0 {
+			t.Errorf("zero throughput at %+v", p)
+		}
+		if p.AggregateMBps > 2*95*1.01 {
+			t.Errorf("aggregate %v exceeds two channels", p.AggregateMBps)
+		}
+	}
+	// Largest packets, single transfer: near channel rate.
+	var single64k float64
+	for _, p := range pts {
+		if p.PacketBytes == 64<<10 && p.Concurrent == 1 {
+			single64k = p.PerTransferMBps
+		}
+	}
+	if single64k < 60 || single64k > 95 {
+		t.Errorf("64KB single-transfer rate = %.1f MB/s, want most of the 95 MB/s link", single64k)
+	}
+}
+
+func TestHIPPITestSeconds(t *testing.T) {
+	s := iop.New()
+	secs := HIPPITestSeconds(s, 10<<30)
+	// 10 GiB at ~95 MB/s is around two minutes.
+	if secs < 90 || secs > 200 {
+		t.Errorf("HIPPI component = %.0f s, want within [90, 200]", secs)
+	}
+}
+
+func TestNetworkScript(t *testing.T) {
+	rs := RunNetwork(NewFDDI(), StandardScript())
+	if len(rs) != len(StandardScript()) {
+		t.Fatal("missing results")
+	}
+	for _, r := range rs {
+		if r.Seconds <= 0 {
+			t.Errorf("%s took %v", r.Name, r.Seconds)
+		}
+	}
+	// Data transfers report bandwidth, non-data commands don't.
+	byName := map[string]NetResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	if byName["ping"].MBps != 0 {
+		t.Error("ping reported a bandwidth")
+	}
+	big := byName["rcp-256MB"]
+	if big.MBps < 5 || big.MBps > 12.5 {
+		t.Errorf("FDDI bulk rate = %.1f MB/s, want most of a 100 Mbit ring", big.MBps)
+	}
+	// Bigger transfers amortize setup better.
+	if byName["ftp-put-64MB"].MBps <= byName["ftp-put-1MB"].MBps {
+		t.Error("large ftp should beat small ftp in MB/s")
+	}
+}

@@ -1,0 +1,88 @@
+package linpack
+
+import (
+	"math"
+	"testing"
+
+	"sx4bench/internal/sx4"
+)
+
+func TestSolve100(t *testing.T) {
+	m, b := NewRandom(100, 1)
+	orig := &Matrix{N: m.N, A: append([]float64(nil), m.A...)}
+	bOrig := append([]float64(nil), b...)
+	ipvt, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Solve(ipvt, b)
+	// Solution should be ones.
+	for i, x := range b {
+		if math.Abs(x-1) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want 1", i, x)
+		}
+	}
+	if r := Residual(orig, b, bOrig); r > 10 {
+		t.Errorf("normalized residual = %v, want O(1)", r)
+	}
+}
+
+func TestSolve1000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=1000 factorization in -short mode")
+	}
+	m, b := NewRandom(1000, 2)
+	orig := &Matrix{N: m.N, A: append([]float64(nil), m.A...)}
+	bOrig := append([]float64(nil), b...)
+	ipvt, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Solve(ipvt, b)
+	if r := Residual(orig, b, bOrig); r > 50 {
+		t.Errorf("normalized residual = %v", r)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	m := &Matrix{N: 3, A: make([]float64, 9)} // all zeros
+	if _, err := m.Factor(); err == nil {
+		t.Error("singular matrix factored")
+	}
+}
+
+func TestPivotingHandlesZeroDiagonal(t *testing.T) {
+	// [[0,1],[1,0]] x = b requires pivoting.
+	m := &Matrix{N: 2, A: []float64{0, 1, 1, 0}} // column-major
+	b := []float64{2, 3}
+	ipvt, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Solve(ipvt, b)
+	// A = [[0,1],[1,0]]: x = [3, 2].
+	if math.Abs(b[0]-3) > 1e-12 || math.Abs(b[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", b)
+	}
+}
+
+func TestFlopsFormula(t *testing.T) {
+	if got := Flops(100); math.Abs(got-(2e6/3+2e4)) > 1 {
+		t.Errorf("Flops(100) = %v", got)
+	}
+}
+
+func TestLINPACKRunsNearPeak(t *testing.T) {
+	// The paper's point about LINPACK: it measures peak-ish speed.
+	// LINPACK 1000 on the SX-4 model should far outrun every climate
+	// code (RADABS sits at ~866 MFLOPS).
+	m := sx4.New(sx4.BenchmarkedSingleCPU())
+	mf1000 := MFLOPS(m, 1000)
+	if mf1000 < 1000 || mf1000 > 1800 {
+		t.Errorf("LINPACK-1000 = %.0f MFLOPS, want within [1000, 1800] (peak 1739)", mf1000)
+	}
+	mf100 := MFLOPS(m, 100)
+	if mf100 >= mf1000 {
+		t.Errorf("LINPACK-100 (%.0f) should trail LINPACK-1000 (%.0f): short vectors", mf100, mf1000)
+	}
+}

@@ -1,0 +1,268 @@
+// Package machine provides performance models of the comparison
+// systems the paper measures against the NCAR suite (Table 1): the
+// Cray Research Y-MP, C90 and J90 parallel vector processors, and the
+// SUN Sparc 20 and IBM RS6000/590 workstations.
+//
+// The Cray machines reuse the sx4 vector engine with era-appropriate
+// parameters (pipe counts, clocks, memory geometry, math-library
+// speed). The workstations use a separate cache-based scalar model:
+// vector operations execute as scalar loops whose memory cost depends
+// on whether the working set fits in cache — which is exactly why the
+// HINT/RADABS ranking inverts between workstations and vector machines.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"sx4bench/internal/sx4"
+	"sx4bench/internal/sx4/prog"
+)
+
+// ScalarProfile describes a machine's scalar processing path, the one
+// HINT exercises: issue width, cache, and scalar memory latency.
+type ScalarProfile struct {
+	ClockNS       float64
+	IssuePerClock float64
+	// HasCache reports whether scalar loads hit a data cache; the
+	// vector Crays have none and pay main-memory latency per load.
+	HasCache           bool
+	CacheWordsPerClock float64
+	MemClocksPerWord   float64
+}
+
+// Target is a modeled machine: it executes traces and exposes its
+// scalar profile.
+type Target interface {
+	Name() string
+	Run(p prog.Program, opts sx4.RunOpts) sx4.Result
+	Scalar() ScalarProfile
+}
+
+// --- Cray vector baselines (sx4 engine with different parameters) ---
+
+// Vector wraps an sx4.Machine with a scalar profile.
+type Vector struct {
+	*sx4.Machine
+	scalar ScalarProfile
+}
+
+// Scalar returns the machine's scalar-path description.
+func (v *Vector) Scalar() ScalarProfile { return v.scalar }
+
+// CrayYMP models one processor of a CRI Y-MP: 6 ns clock, one add and
+// one multiply pipe (333 MFLOPS peak), 64-element vector registers,
+// no data cache.
+func CrayYMP() *Vector {
+	c := baseCray("CRI Y-MP", 6.0, 8, 1, 64)
+	c.IntrinsicScale = 8
+	return &Vector{
+		Machine: sx4.New(c),
+		scalar: ScalarProfile{
+			ClockNS: 6.0, IssuePerClock: 1,
+			HasCache: false, MemClocksPerWord: 8,
+		},
+	}
+}
+
+// CrayC90 models one processor of a CRI C90: 4.167 ns clock, dual
+// vector pipes (~952 MFLOPS peak), 128-element registers.
+func CrayC90() *Vector {
+	c := baseCray("CRI C90", 4.167, 16, 2, 128)
+	c.PortWordsPerClock = 6
+	c.NodeWordsPerClock = 96
+	c.IntrinsicScale = 4
+	return &Vector{
+		Machine: sx4.New(c),
+		scalar: ScalarProfile{
+			ClockNS: 4.167, IssuePerClock: 1,
+			HasCache: false, MemClocksPerWord: 8,
+		},
+	}
+}
+
+// CrayJ90 models one processor of a CRI J90: a 10 ns CMOS Cray with
+// one pipe pair (200 MFLOPS peak) and a slower memory system.
+func CrayJ90() *Vector {
+	c := baseCray("CRI J90", 10.0, 8, 1, 64)
+	c.PortWordsPerClock = 2
+	c.NodeWordsPerClock = 16
+	c.MemStartupClocks = 30
+	c.IntrinsicScale = 14
+	return &Vector{
+		Machine: sx4.New(c),
+		scalar: ScalarProfile{
+			ClockNS: 10.0, IssuePerClock: 1,
+			HasCache: false, MemClocksPerWord: 8,
+		},
+	}
+}
+
+func baseCray(name string, clockNS float64, cpus, pipes, regElems int) sx4.Config {
+	c := sx4.NewConfig(cpus, 1)
+	c.Name = name
+	c.ClockNS = clockNS
+	c.VectorPipes = pipes
+	c.VectorRegElems = regElems
+	c.MemoryBanks = 256
+	c.BankBusyClocks = 4
+	c.PortWordsPerClock = 3
+	c.NodeWordsPerClock = 48
+	c.VectorStartupClocks = 15
+	c.MemStartupClocks = 20
+	c.GatherWordsPerClock = float64(pipes) / 2
+	c.StridedPenalty = 2
+	c.ScalarIssuePerClock = 1
+	return c
+}
+
+// --- Workstation (cache-based scalar) model ---
+
+// Workstation models a cache-based superscalar workstation: vector
+// operations execute as scalar loops; memory cost depends on whether
+// the loop's working set fits in the data cache.
+type Workstation struct {
+	ModelName string
+	ClockNS   float64
+	// FlopsPerClock is the sustained floating-point issue rate.
+	FlopsPerClock float64
+	// CacheKB is the data-cache size.
+	CacheKB int
+	// CacheWordsPerClock and MemWordsPerClock are sustained bandwidths
+	// inside and beyond the cache.
+	CacheWordsPerClock float64
+	MemWordsPerClock   float64
+	// GatherPenalty multiplies the memory cost of indirect access that
+	// misses cache.
+	GatherPenalty float64
+	// IntrinsicClocks is the average scalar libm call cost.
+	IntrinsicClocks float64
+	// IssuePerClock is the integer/control issue width.
+	IssuePerClock float64
+}
+
+// SunSparc20 models a 75 MHz SuperSPARC SUN Sparc 20.
+func SunSparc20() *Workstation {
+	return &Workstation{
+		ModelName: "SUN Sparc 20", ClockNS: 13.33,
+		FlopsPerClock: 0.55, CacheKB: 16,
+		CacheWordsPerClock: 1, MemWordsPerClock: 0.12,
+		GatherPenalty: 1.5, IntrinsicClocks: 100, IssuePerClock: 1.2,
+	}
+}
+
+// IBMRS6000590 models a 66.5 MHz POWER2 IBM RS6000/590.
+func IBMRS6000590() *Workstation {
+	return &Workstation{
+		ModelName: "IBM RS6000/590", ClockNS: 15.04,
+		FlopsPerClock: 2.2, CacheKB: 256,
+		CacheWordsPerClock: 2, MemWordsPerClock: 0.4,
+		GatherPenalty: 1.5, IntrinsicClocks: 70, IssuePerClock: 2,
+	}
+}
+
+// Name returns the model designation.
+func (w *Workstation) Name() string { return w.ModelName }
+
+// Scalar returns the workstation's scalar profile.
+func (w *Workstation) Scalar() ScalarProfile {
+	return ScalarProfile{
+		ClockNS:            w.ClockNS,
+		IssuePerClock:      w.IssuePerClock,
+		HasCache:           true,
+		CacheWordsPerClock: w.CacheWordsPerClock,
+		MemClocksPerWord:   1 / w.MemWordsPerClock,
+	}
+}
+
+// Run executes a trace on the workstation model. opts.Procs is ignored
+// (the Table 1 comparisons are single-processor).
+func (w *Workstation) Run(p prog.Program, opts sx4.RunOpts) sx4.Result {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	res := sx4.Result{Program: p.Name, Procs: 1}
+	for _, ph := range p.Phases {
+		var phClocks float64
+		for _, l := range ph.Loops {
+			if l.Trips == 0 {
+				continue
+			}
+			phClocks += float64(l.Trips) * w.tripClocks(l)
+			res.Words += l.Words()
+		}
+		phClocks += ph.SerialClocks
+		pt := sx4.PhaseTime{Name: ph.Name, Clocks: phClocks, Flops: ph.Flops()}
+		res.Phases = append(res.Phases, pt)
+		res.Clocks += phClocks
+		res.Flops += ph.Flops()
+	}
+	res.Seconds = res.Clocks * w.ClockNS * 1e-9
+	return res
+}
+
+// tripClocks costs one loop-body trip on the scalar machine.
+func (w *Workstation) tripClocks(l prog.Loop) float64 {
+	// Working set: bytes one trip touches; if the trip's arrays fit in
+	// the data cache they are served at cache speed on repeated passes
+	// (the KTRIES best-of-k rule measures the warm case).
+	var tripWords int64
+	for _, op := range l.Body {
+		tripWords += op.Words()
+	}
+	inCache := float64(tripWords)*8 <= float64(w.CacheKB)*1024
+
+	var clocks float64
+	for _, op := range l.Body {
+		vl := float64(op.VL)
+		switch op.Class {
+		case prog.VAdd, prog.VMul, prog.VDiv:
+			weight := 1.0
+			if op.FlopsPerElem > 1 {
+				weight = float64(op.FlopsPerElem)
+			}
+			cost := weight * vl / w.FlopsPerClock
+			if op.Class == prog.VDiv {
+				cost *= 8 // scalar divides are long-latency
+			}
+			clocks += cost
+		case prog.VLogical:
+			clocks += vl / w.IssuePerClock
+		case prog.VLoad, prog.VStore:
+			if inCache {
+				clocks += vl / w.CacheWordsPerClock
+			} else {
+				clocks += vl / w.MemWordsPerClock
+			}
+		case prog.VGather, prog.VScatter:
+			if inCache {
+				clocks += vl / w.CacheWordsPerClock
+			} else {
+				clocks += vl * w.GatherPenalty / w.MemWordsPerClock
+			}
+		case prog.VIntrinsic:
+			clocks += vl * w.IntrinsicClocks
+		case prog.Scalar:
+			clocks += float64(op.Count) / w.IssuePerClock
+		}
+	}
+	// Loop control overhead.
+	return clocks + 4/w.IssuePerClock
+}
+
+// PeakMFLOPS returns the workstation's nominal peak rate.
+func (w *Workstation) PeakMFLOPS() float64 {
+	return w.FlopsPerClock * 1e3 / w.ClockNS
+}
+
+// String describes the workstation.
+func (w *Workstation) String() string {
+	return fmt.Sprintf("%s (%.0f MHz, %.0f MFLOPS peak)",
+		w.ModelName, 1e3/w.ClockNS, math.Round(w.PeakMFLOPS()))
+}
+
+// Table1Targets returns the four comparison systems in the paper's
+// Table 1 column order.
+func Table1Targets() []Target {
+	return []Target{SunSparc20(), IBMRS6000590(), CrayJ90(), CrayYMP()}
+}

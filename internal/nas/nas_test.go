@@ -1,0 +1,104 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"sx4bench/internal/sx4"
+)
+
+func TestEPStatistics(t *testing.T) {
+	res := EP(200000, 271828183)
+	// Acceptance rate of the polar method is pi/4.
+	rate := float64(res.Pairs) / 200000
+	if math.Abs(rate-math.Pi/4) > 0.01 {
+		t.Errorf("acceptance rate = %v, want ~%v", rate, math.Pi/4)
+	}
+	// Gaussian deviates: means near zero, most mass in the first two
+	// annuli.
+	meanX := res.SumX / float64(res.Pairs)
+	meanY := res.SumY / float64(res.Pairs)
+	if math.Abs(meanX) > 0.02 || math.Abs(meanY) > 0.02 {
+		t.Errorf("means = %v, %v; want ~0", meanX, meanY)
+	}
+	if res.Counts[0] < res.Counts[1] || res.Counts[1] < res.Counts[2] {
+		t.Errorf("annulus counts not decreasing: %v", res.Counts)
+	}
+	var total int64
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != int64(res.Pairs) {
+		t.Errorf("counts sum %d != pairs %d", total, res.Pairs)
+	}
+}
+
+func TestEPDeterministic(t *testing.T) {
+	a := EP(10000, 42)
+	b := EP(10000, 42)
+	if a != b {
+		t.Error("EP not deterministic for equal seeds")
+	}
+	c := EP(10000, 43)
+	if a == c {
+		t.Error("different seeds gave identical results")
+	}
+}
+
+func TestLCGRange(t *testing.T) {
+	g := lcg{seed: 314159265}
+	for i := 0; i < 10000; i++ {
+		v := g.next()
+		if v < 0 || v >= 1 {
+			t.Fatalf("lcg out of range: %v", v)
+		}
+	}
+}
+
+func TestMGSmoothReducesResidual(t *testing.T) {
+	n := 16
+	u := make([]float64, n*n*n)
+	f := make([]float64, n*n*n)
+	// Random interior error against f=0: smoothing damps it.
+	for i := range u {
+		u[i] = math.Sin(float64(i))
+	}
+	energy := func(v []float64) float64 {
+		var s float64
+		idx := func(i, j, k int) int { return (i*n+j)*n + k }
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				for k := 1; k < n-1; k++ {
+					lap := v[idx(i-1, j, k)] + v[idx(i+1, j, k)] +
+						v[idx(i, j-1, k)] + v[idx(i, j+1, k)] +
+						v[idx(i, j, k-1)] + v[idx(i, j, k+1)] - 6*v[idx(i, j, k)]
+					s += lap * lap
+				}
+			}
+		}
+		return s
+	}
+	before := energy(u)
+	out := u
+	for sweep := 0; sweep < 5; sweep++ {
+		out = MGSmooth(out, f, n, 0.1)
+	}
+	after := energy(out)
+	if after >= before {
+		t.Errorf("smoothing did not reduce residual energy: %v -> %v", before, after)
+	}
+}
+
+func TestTraceRates(t *testing.T) {
+	m := sx4.New(sx4.BenchmarkedSingleCPU())
+	ep := EPMFLOPS(m, 1<<20)
+	mg := MGMFLOPS(m, 64)
+	if ep <= 0 || mg <= 0 {
+		t.Fatalf("non-positive rates ep=%v mg=%v", ep, mg)
+	}
+	// MG streams memory; EP is intrinsic bound. Both well under peak.
+	peak := m.Config().PeakFlopsPerCPU() / 1e6
+	if ep > peak || mg > peak {
+		t.Errorf("kernel exceeds peak: ep=%v mg=%v peak=%v", ep, mg, peak)
+	}
+}

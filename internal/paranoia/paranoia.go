@@ -1,0 +1,235 @@
+// Package paranoia implements the core checks of W. Kahan's PARANOIA
+// program: a self-contained interrogation of the host's floating-point
+// arithmetic. The SX-4 was benchmarked in IEEE 754 mode and passed;
+// the reproduction verifies the same properties of the arithmetic the
+// Go port runs on.
+//
+// Findings are classified, as in the original, into failures, serious
+// defects, defects, and flaws. A machine with correct IEEE 754 double
+// precision arithmetic reports none of the first three.
+package paranoia
+
+import (
+	"fmt"
+	"math"
+)
+
+// Severity classifies a finding.
+type Severity int
+
+const (
+	// Failure: arithmetic is wrong (e.g. 2+2 != 4).
+	Failure Severity = iota
+	// SeriousDefect: results unreliable for careful numerical work.
+	SeriousDefect
+	// Defect: shortcomings that can break robust algorithms.
+	Defect
+	// Flaw: cosmetic or minor deviations.
+	Flaw
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Failure:
+		return "FAILURE"
+	case SeriousDefect:
+		return "SERIOUS DEFECT"
+	case Defect:
+		return "DEFECT"
+	case Flaw:
+		return "FLAW"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Finding is one diagnosed problem.
+type Finding struct {
+	Severity Severity
+	Message  string
+}
+
+// Report is the outcome of the interrogation.
+type Report struct {
+	Radix            float64
+	Precision        int // significand digits in the radix
+	GuardDigit       bool
+	RoundsToNearest  bool
+	StickyBit        bool
+	GradualUnderflow bool
+	InfinityOK       bool
+	NaNOK            bool
+	Findings         []Finding
+}
+
+// Pass reports whether the arithmetic is acceptable: no failures,
+// serious defects, or defects.
+func (r Report) Pass() bool {
+	for _, f := range r.Findings {
+		if f.Severity != Flaw {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts returns the number of findings at each severity.
+func (r Report) Counts() (failures, serious, defects, flaws int) {
+	for _, f := range r.Findings {
+		switch f.Severity {
+		case Failure:
+			failures++
+		case SeriousDefect:
+			serious++
+		case Defect:
+			defects++
+		case Flaw:
+			flaws++
+		}
+	}
+	return
+}
+
+func (r *Report) add(s Severity, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{s, fmt.Sprintf(format, args...)})
+}
+
+// Run performs the interrogation on float64 arithmetic.
+func Run() Report {
+	var r Report
+
+	// Small-integer arithmetic must be exact.
+	if 2.0+2.0 != 4.0 || 4.0-2.0-2.0 != 0.0 || 1.0*1.0 != 1.0 {
+		r.add(Failure, "small integer arithmetic is wrong")
+	}
+	if 9.0+7.0 != 16.0 || 32.0/2.0 != 16.0 {
+		r.add(Failure, "small integer add/divide is wrong")
+	}
+
+	// Radix discovery, Malcolm's algorithm: find w = smallest power of
+	// 2 with fl(w+1) == w, then radix = fl(w+r)-w for growing r.
+	w := 1.0
+	for w+1.0-w == 1.0 {
+		w *= 2.0
+		if math.IsInf(w, 0) {
+			r.add(Failure, "radix search diverged")
+			return r
+		}
+	}
+	radix := 0.0
+	y := 1.0
+	for radix == 0.0 {
+		radix = w + y - w
+		y += 1.0
+	}
+	r.Radix = radix
+	if radix != 2 {
+		r.add(Flaw, "radix is %g, not 2", radix)
+	}
+
+	// Precision: number of radix digits.
+	precision := 0
+	p := 1.0
+	for p+1.0-p == 1.0 {
+		p *= radix
+		precision++
+	}
+	r.Precision = precision
+	if radix == 2 && precision != 53 {
+		r.add(Defect, "binary precision is %d digits, not 53 (IEEE double)", precision)
+	}
+
+	// Guard digit in subtraction: (1+ulp) - 1 must be ulp, and
+	// 1 - (1-ulp/radix) must not lose the difference.
+	ulp := math.Nextafter(1.0, 2.0) - 1.0
+	if (1.0+ulp)-1.0 != ulp {
+		r.add(SeriousDefect, "subtraction lacks a guard digit")
+	} else {
+		r.GuardDigit = true
+	}
+
+	// Rounding: must be to nearest (even). 1 + ulp/2 rounds to 1;
+	// 1 + 3*ulp/2 rounds up to 1+2*ulp under round-to-nearest-even.
+	half := ulp / 2
+	roundsNearest := (1.0+half) == 1.0 && (1.0+3*half) == 1.0+2*ulp
+	r.RoundsToNearest = roundsNearest
+	if !roundsNearest {
+		r.add(Defect, "multiplication/addition do not round to nearest even")
+	}
+
+	// Sticky bit: rounding must see bits beyond the guard digit:
+	// (1 + ulp*0.50000000001) should round up, not to 1.
+	sticky := 1.0+half*(1+1e-11) != 1.0
+	r.StickyBit = sticky
+	if !sticky {
+		r.add(Flaw, "rounding appears to ignore the sticky bit")
+	}
+
+	// Gradual underflow (denormals).
+	tiny := math.SmallestNonzeroFloat64
+	if tiny == 0 || tiny/2 < 0 {
+		r.add(Defect, "no gradual underflow")
+	} else if tiny > 0 && tiny/2 == 0 && tiny != math.SmallestNonzeroFloat64*2/2 {
+		r.add(Defect, "denormal arithmetic inconsistent")
+	} else {
+		r.GradualUnderflow = true
+	}
+	den := math.Float64frombits(1) // smallest denormal
+	if den <= 0 || den*2/2 != den {
+		r.add(Defect, "denormal arithmetic loses values")
+		r.GradualUnderflow = false
+	}
+
+	// Overflow saturates to infinity and infinity arithmetic behaves.
+	huge := math.MaxFloat64
+	inf := huge * 2
+	if !math.IsInf(inf, 1) {
+		r.add(Defect, "overflow does not produce +Inf")
+	} else if inf+huge != inf || 1/inf != 0 {
+		r.add(Defect, "infinity arithmetic misbehaves")
+	} else {
+		r.InfinityOK = true
+	}
+
+	// NaN: 0/0 produces NaN; NaN != NaN.
+	nan := math.NaN()
+	if nan == nan || !(math.IsNaN(nan + 1)) {
+		r.add(Defect, "NaN comparison or propagation is wrong")
+	} else {
+		r.NaNOK = true
+	}
+
+	// Division identities: x/x == 1 for a spread of values.
+	for _, x := range []float64{3, 7, 1e10, 1e-10, math.Pi} {
+		if x/x != 1.0 {
+			r.add(SeriousDefect, "x/x != 1 for x=%g", x)
+		}
+	}
+	// Multiplication commutes on sampled values.
+	xs := []float64{1.5, math.Pi, 1e100, 3e-7, 0.1}
+	for _, a := range xs {
+		for _, b := range xs {
+			if a*b != b*a {
+				r.add(Defect, "multiplication does not commute for %g,%g", a, b)
+			}
+		}
+	}
+	// sqrt exactness on perfect squares.
+	for _, q := range []float64{4, 9, 16, 1 << 20} {
+		if math.Sqrt(q) != math.Sqrt(q) || math.Sqrt(q)*math.Sqrt(q) != q {
+			r.add(Defect, "sqrt(%g) is not exact", q)
+		}
+	}
+	return r
+}
+
+// Summary renders the report in PARANOIA's closing style.
+func (r Report) Summary() string {
+	f, s, d, fl := r.Counts()
+	if f == 0 && s == 0 && d == 0 && fl == 0 {
+		return fmt.Sprintf("No failures, defects nor flaws have been discovered.\n"+
+			"Rounding appears to conform to the IEEE standard (radix %g, %d significant digits).",
+			r.Radix, r.Precision)
+	}
+	return fmt.Sprintf("The arithmetic diagnosed has: %d failures, %d serious defects, %d defects, %d flaws.",
+		f, s, d, fl)
+}

@@ -1,0 +1,96 @@
+package paranoia
+
+import "math"
+
+// Run32 interrogates the 32-bit (single precision) format — the SX-4's
+// vector and scalar units support 32-bit IEEE operands alongside the
+// 64-bit ones, and the benchmark's correctness category covers both
+// widths. Go evaluates float32 expressions in float32, so the checks
+// probe the host's single-precision behaviour directly.
+func Run32() Report {
+	var r Report
+
+	f32 := func(x float64) float32 { return float32(x) }
+	if f32(2)+f32(2) != 4 || f32(9)*f32(3) != 27 {
+		r.add(Failure, "32-bit small-integer arithmetic is wrong")
+	}
+
+	// Radix and precision via Malcolm's algorithm in float32.
+	w := float32(1)
+	for w+1-w == 1 {
+		w *= 2
+		if math.IsInf(float64(w), 0) {
+			r.add(Failure, "32-bit radix search diverged")
+			return r
+		}
+	}
+	var radix float32
+	y := float32(1)
+	for radix == 0 {
+		radix = w + y - w
+		y++
+	}
+	r.Radix = float64(radix)
+	if radix != 2 {
+		r.add(Flaw, "32-bit radix is %g", radix)
+	}
+	precision := 0
+	p := float32(1)
+	for p+1-p == 1 {
+		p *= radix
+		precision++
+	}
+	r.Precision = precision
+	if radix == 2 && precision != 24 {
+		r.add(Defect, "32-bit precision is %d digits, not 24 (IEEE single)", precision)
+	}
+
+	// Guard digit and rounding.
+	ulp := math.Nextafter32(1, 2) - 1
+	if (1+ulp)-1 != ulp {
+		r.add(SeriousDefect, "32-bit subtraction lacks a guard digit")
+	} else {
+		r.GuardDigit = true
+	}
+	half := ulp / 2
+	if (1+half) == 1 && (1+3*half) == 1+2*ulp {
+		r.RoundsToNearest = true
+	} else {
+		r.add(Defect, "32-bit rounding is not to nearest even")
+	}
+	r.StickyBit = 1+half*(1+1e-5) != 1
+	if !r.StickyBit {
+		r.add(Flaw, "32-bit rounding ignores the sticky bit")
+	}
+
+	// Gradual underflow.
+	tiny := math.Float32frombits(1)
+	if tiny <= 0 || tiny*2/2 != tiny {
+		r.add(Defect, "32-bit denormals misbehave")
+	} else {
+		r.GradualUnderflow = true
+	}
+
+	// Overflow and special values.
+	huge := math.MaxFloat32
+	inf := float32(huge) * 2
+	if !math.IsInf(float64(inf), 1) {
+		r.add(Defect, "32-bit overflow does not produce +Inf")
+	} else {
+		r.InfinityOK = true
+	}
+	nan := float32(math.NaN())
+	if nan == nan {
+		r.add(Defect, "32-bit NaN compares equal to itself")
+	} else {
+		r.NaNOK = true
+	}
+
+	// x/x == 1.
+	for _, x := range []float32{3, 7, 1e10, 1e-10} {
+		if x/x != 1 {
+			r.add(SeriousDefect, "32-bit x/x != 1 for x=%g", x)
+		}
+	}
+	return r
+}

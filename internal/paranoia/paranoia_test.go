@@ -1,0 +1,110 @@
+package paranoia
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIEEEHostPasses(t *testing.T) {
+	r := Run()
+	if !r.Pass() {
+		for _, f := range r.Findings {
+			t.Errorf("finding: [%v] %s", f.Severity, f.Message)
+		}
+	}
+}
+
+func TestDiscoveredProperties(t *testing.T) {
+	r := Run()
+	if r.Radix != 2 {
+		t.Errorf("radix = %v, want 2", r.Radix)
+	}
+	if r.Precision != 53 {
+		t.Errorf("precision = %d, want 53", r.Precision)
+	}
+	if !r.GuardDigit {
+		t.Error("guard digit not detected")
+	}
+	if !r.RoundsToNearest {
+		t.Error("round-to-nearest not detected")
+	}
+	if !r.StickyBit {
+		t.Error("sticky bit not detected")
+	}
+	if !r.GradualUnderflow {
+		t.Error("gradual underflow not detected")
+	}
+	if !r.InfinityOK || !r.NaNOK {
+		t.Error("IEEE special values misbehave")
+	}
+}
+
+func TestIEEEHost32Passes(t *testing.T) {
+	r := Run32()
+	if !r.Pass() {
+		for _, f := range r.Findings {
+			t.Errorf("32-bit finding: [%v] %s", f.Severity, f.Message)
+		}
+	}
+	if r.Radix != 2 {
+		t.Errorf("32-bit radix = %v", r.Radix)
+	}
+	if r.Precision != 24 {
+		t.Errorf("32-bit precision = %d, want 24", r.Precision)
+	}
+	if !r.GuardDigit || !r.RoundsToNearest || !r.GradualUnderflow {
+		t.Error("32-bit IEEE properties not detected")
+	}
+	if !r.InfinityOK || !r.NaNOK {
+		t.Error("32-bit special values misbehave")
+	}
+}
+
+func TestBothWidthsAgreeOnRadix(t *testing.T) {
+	// The SX-4's hardware used one arithmetic for all widths; both
+	// formats must report binary.
+	if Run().Radix != Run32().Radix {
+		t.Error("32- and 64-bit formats disagree on radix")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := Report{Findings: []Finding{
+		{Failure, "a"}, {Defect, "b"}, {Defect, "c"}, {Flaw, "d"},
+	}}
+	f, s, d, fl := r.Counts()
+	if f != 1 || s != 0 || d != 2 || fl != 1 {
+		t.Errorf("Counts = %d,%d,%d,%d", f, s, d, fl)
+	}
+	if r.Pass() {
+		t.Error("report with a failure passed")
+	}
+}
+
+func TestFlawsStillPass(t *testing.T) {
+	r := Report{Findings: []Finding{{Flaw, "cosmetic"}}}
+	if !r.Pass() {
+		t.Error("flaw-only report should pass")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	clean := Run()
+	s := clean.Summary()
+	if !strings.Contains(s, "IEEE") && !strings.Contains(s, "failures") {
+		t.Errorf("unexpected summary: %s", s)
+	}
+	dirty := Report{Findings: []Finding{{SeriousDefect, "x"}}}
+	if !strings.Contains(dirty.Summary(), "1 serious defects") {
+		t.Errorf("dirty summary: %s", dirty.Summary())
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if Failure.String() != "FAILURE" || Flaw.String() != "FLAW" {
+		t.Error("severity names wrong")
+	}
+	if !strings.Contains(Severity(9).String(), "9") {
+		t.Error("unknown severity should show number")
+	}
+}

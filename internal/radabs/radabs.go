@@ -1,0 +1,186 @@
+// Package radabs implements the RADABS benchmark: the radiation-physics
+// absorptivity kernel from the NCAR Community Climate Model (CCM2), the
+// single most time-consuming subroutine of the model. It is "to NCAR's
+// climate codes what LINPACK is to numerical linear algebra": intrinsic
+// heavy (EXP, LOG, PWR, SQRT), embarrassingly parallel over the
+// latitude-longitude columns, and an upper bound on CCM2 performance.
+//
+// The physics here is a simplified longwave absorptivity/emissivity
+// computation in the spirit of CCM2's radabs routine: for every pair of
+// model levels it forms gas path lengths and evaluates band
+// transmissions through exponentials, square roots, logarithms and
+// powers. The numbers it produces obey the physical invariants the
+// tests check (absorptivities in [0,1), monotone in absorber path); the
+// flop accounting follows the Y-MP hardware-monitor convention.
+package radabs
+
+import (
+	"fmt"
+	"math"
+
+	"sx4bench/internal/sx4/prog"
+)
+
+// DefaultLevels is CCM2's operational vertical resolution (L18).
+const DefaultLevels = 18
+
+// Column holds one vertical column of atmospheric state.
+type Column struct {
+	Press []float64 // level pressures [Pa], increasing downward
+	Temp  []float64 // level temperatures [K]
+	H2O   []float64 // water-vapor mass mixing ratio [kg/kg]
+	CO2   float64   // CO2 volume mixing ratio
+}
+
+// NewColumn returns a standard-atmosphere-like column with nlev levels,
+// the identical initial data the benchmark replicates in every column.
+func NewColumn(nlev int) Column {
+	if nlev < 2 {
+		panic(fmt.Sprintf("radabs: need at least 2 levels, got %d", nlev))
+	}
+	c := Column{
+		Press: make([]float64, nlev),
+		Temp:  make([]float64, nlev),
+		H2O:   make([]float64, nlev),
+		CO2:   3.55e-4,
+	}
+	for k := 0; k < nlev; k++ {
+		// Sigma-like spacing from ~2 hPa to ~1000 hPa.
+		sigma := (float64(k) + 0.5) / float64(nlev)
+		c.Press[k] = 200.0 + (101325.0-200.0)*sigma*sigma
+		// Troposphere lapse with a stratospheric floor.
+		c.Temp[k] = math.Max(216.65, 288.15-71.5*(1-sigma))
+		// Moisture decays sharply with height.
+		c.H2O[k] = 1.0e-2 * math.Pow(sigma, 3)
+	}
+	return c
+}
+
+// Absorptivity computes the level-pair absorptivity matrix abs[k1][k2]
+// for the column: the fraction of radiation emitted at level k2 that is
+// absorbed before reaching k1.
+func Absorptivity(c Column) [][]float64 {
+	nlev := len(c.Press)
+	out := make([][]float64, nlev)
+	for k1 := 0; k1 < nlev; k1++ {
+		out[k1] = make([]float64, nlev)
+		for k2 := 0; k2 < nlev; k2++ {
+			if k1 == k2 {
+				continue
+			}
+			out[k1][k2] = pairAbsorptivity(c, k1, k2)
+		}
+	}
+	return out
+}
+
+// pairAbsorptivity evaluates one level pair. The structure mirrors the
+// benchmark's accounting: a handful of multi-line arithmetic
+// expressions plus 2 EXP, 1 LOG, 1 PWR and 1 SQRT per pair.
+func pairAbsorptivity(c Column, k1, k2 int) float64 {
+	lo, hi := k1, k2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// Absorber paths between the levels (pressure-weighted).
+	var uH2O, uCO2, pBar float64
+	for k := lo; k < hi; k++ {
+		dp := c.Press[k+1] - c.Press[k]
+		uH2O += c.H2O[k] * dp / 9.80616
+		uCO2 += c.CO2 * dp / 9.80616
+		pBar += 0.5 * (c.Press[k+1] + c.Press[k]) * dp
+	}
+	dpTot := c.Press[hi] - c.Press[lo]
+	pBar /= dpTot
+	tBar := 0.5 * (c.Temp[lo] + c.Temp[hi])
+
+	// Pressure-broadened effective paths.
+	pr := pBar / 101325.0
+	uEffH2O := uH2O * pr * math.Sqrt(288.15/tBar)
+	uEffCO2 := uCO2 * math.Pow(pr, 0.85)
+
+	// Band transmissions: strong-line water vapor, CO2 15-micron wing.
+	tauH2O := math.Exp(-8.1 * uEffH2O / (1 + 19.0*uEffH2O))
+	tauCO2 := math.Exp(-2.3 * uEffCO2)
+
+	// Continuum correction grows logarithmically with path.
+	cont := 0.015 * math.Log(1+140.0*uH2O)
+
+	a := 1 - tauH2O*tauCO2 + cont
+	if a < 0 {
+		a = 0
+	}
+	if a > 0.999 {
+		a = 0.999
+	}
+	return a
+}
+
+// Pairs returns the number of level pairs evaluated per column.
+func Pairs(nlev int) int64 { return int64(nlev) * int64(nlev-1) }
+
+// Per-pair operation accounting (Y-MP hardware-monitor convention):
+// the "numerous complex, multi-line equations" plus the intrinsic
+// credits of prog.IntrinsicFlops.
+const (
+	mulPerPair = 12
+	addPerPair = 10
+	divPerPair = 2
+	// Intrinsic calls per pair.
+	expPerPair  = 2
+	logPerPair  = 1
+	powPerPair  = 1
+	sqrtPerPair = 1
+	// Memory traffic per pair (state loads, table gathers, result).
+	loadsPerPair   = 6
+	gathersPerPair = 2
+	storesPerPair  = 1
+)
+
+// FlopsPerColumn returns the credited flop count for one column.
+func FlopsPerColumn(nlev int) int64 {
+	perPair := int64(mulPerPair + addPerPair + divPerPair +
+		expPerPair*prog.IntrinsicFlops[prog.Exp] +
+		logPerPair*prog.IntrinsicFlops[prog.Log] +
+		powPerPair*prog.IntrinsicFlops[prog.Pow] +
+		sqrtPerPair*prog.IntrinsicFlops[prog.Sqrt])
+	return perPair * Pairs(nlev)
+}
+
+// Trace builds the operation trace for ncol columns of nlev levels.
+// The physics is vectorized over the horizontal columns (vector length
+// ncol); the level-pair loop is the trip axis. Band-table lookups go
+// through the gather path.
+func Trace(ncol, nlev int) prog.Program {
+	if ncol < 1 || nlev < 2 {
+		panic(fmt.Sprintf("radabs: bad shape ncol=%d nlev=%d", ncol, nlev))
+	}
+	body := []prog.Op{
+		{Class: prog.VLoad, VL: ncol * loadsPerPair, Stride: 1},
+		{Class: prog.VGather, VL: ncol * gathersPerPair, Span: 4096},
+		{Class: prog.VMul, VL: ncol, FlopsPerElem: mulPerPair},
+		{Class: prog.VAdd, VL: ncol, FlopsPerElem: addPerPair},
+		{Class: prog.VDiv, VL: ncol, FlopsPerElem: divPerPair},
+	}
+	for i := 0; i < expPerPair; i++ {
+		body = append(body, prog.Op{Class: prog.VIntrinsic, VL: ncol, Intr: prog.Exp})
+	}
+	body = append(body,
+		prog.Op{Class: prog.VIntrinsic, VL: ncol, Intr: prog.Log},
+		prog.Op{Class: prog.VIntrinsic, VL: ncol, Intr: prog.Pow},
+		prog.Op{Class: prog.VIntrinsic, VL: ncol, Intr: prog.Sqrt},
+		prog.Op{Class: prog.VStore, VL: ncol * storesPerPair, Stride: 1},
+	)
+	return prog.Program{
+		Name: fmt.Sprintf("RADABS(ncol=%d,nlev=%d)", ncol, nlev),
+		Phases: []prog.Phase{{
+			Name:     "radabs",
+			Parallel: true,
+			Loops:    []prog.Loop{{Trips: Pairs(nlev), Body: body}},
+		}},
+	}
+}
+
+// BenchmarkShape is the standard benchmark configuration: a T42-like
+// horizontal chunk of columns at L18.
+const BenchmarkColumns = 8192

@@ -1,0 +1,232 @@
+// Package slt implements shape-preserving semi-Lagrangian transport
+// (SLT) in the style of Williamson & Rasch: trace constituents are
+// advected by following trajectories backward from each grid point to
+// a departure point and interpolating the field there with a monotone
+// (shape-preserving) Hermite cubic. The departure-point interpolation
+// is indirect addressing on the Gaussian grid — the access pattern the
+// paper calls out.
+//
+// The grid is periodic in longitude (i) and bounded in latitude (j).
+package slt
+
+import (
+	"fmt"
+	"math"
+
+	"sx4bench/internal/sx4/commreg"
+)
+
+// Grid describes the transport mesh: nlat rows by nlon columns with
+// uniform longitude spacing; latitude rows carry coordinate values
+// (e.g. Gaussian latitudes in radians).
+type Grid struct {
+	NLon, NLat int
+	Lat        []float64 // ascending latitude coordinate per row
+}
+
+// NewGrid builds a transport grid with the given latitudes.
+func NewGrid(nlon int, lat []float64) *Grid {
+	if nlon < 4 || len(lat) < 4 {
+		panic(fmt.Sprintf("slt: grid too small (%dx%d)", len(lat), nlon))
+	}
+	for j := 1; j < len(lat); j++ {
+		if lat[j] <= lat[j-1] {
+			panic("slt: latitudes must ascend")
+		}
+	}
+	return &Grid{NLon: nlon, NLat: len(lat), Lat: lat}
+}
+
+// UniformGrid builds a grid with nlat equally spaced interior
+// latitudes.
+func UniformGrid(nlon, nlat int) *Grid {
+	lat := make([]float64, nlat)
+	for j := range lat {
+		lat[j] = -math.Pi/2 + math.Pi*(float64(j)+0.5)/float64(nlat)
+	}
+	return NewGrid(nlon, lat)
+}
+
+// dlon returns the longitude spacing in radians.
+func (g *Grid) dlon() float64 { return 2 * math.Pi / float64(g.NLon) }
+
+// index returns the flat index of (j, i) with longitude wraparound.
+func (g *Grid) index(j, i int) int {
+	i = ((i % g.NLon) + g.NLon) % g.NLon
+	return j*g.NLon + i
+}
+
+// monotoneSlope returns the Fritsch-Carlson limited derivative for the
+// interval pair (dPrev, dNext) of secant slopes: zero at local extrema,
+// otherwise a harmonic-mean-like average that guarantees monotone
+// interpolation.
+func monotoneSlope(dPrev, dNext float64) float64 {
+	if dPrev*dNext <= 0 {
+		return 0
+	}
+	return 2 * dPrev * dNext / (dPrev + dNext)
+}
+
+// hermite evaluates the cubic Hermite interpolant on [0,1] with values
+// f0, f1 and derivatives m0, m1 (already scaled by the interval).
+func hermite(f0, f1, m0, m1, s float64) float64 {
+	s2 := s * s
+	s3 := s2 * s
+	h00 := 2*s3 - 3*s2 + 1
+	h10 := s3 - 2*s2 + s
+	h01 := -2*s3 + 3*s2
+	h11 := s3 - s2
+	return h00*f0 + h10*m0 + h01*f1 + h11*m1
+}
+
+// interp1D interpolates monotonically in a 4-point stencil f[-1..2]
+// at fraction s in [0,1] between f[0] and f[1], clamping the result to
+// [min(f0,f1), max(f0,f1)] (the shape-preserving property).
+func interp1D(fm1, f0, f1, f2, s float64) float64 {
+	dPrev := f0 - fm1
+	dMid := f1 - f0
+	dNext := f2 - f1
+	m0 := monotoneSlope(dPrev, dMid)
+	m1 := monotoneSlope(dMid, dNext)
+	v := hermite(f0, f1, m0, m1, s)
+	lo, hi := f0, f1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// Interpolate evaluates the shape-preserving tensor-product cubic at
+// fractional position (lon in radians, lat in radians) in field q.
+func (g *Grid) Interpolate(q []float64, lon, lat float64) float64 {
+	if len(q) != g.NLat*g.NLon {
+		panic("slt: field length mismatch")
+	}
+	// Longitude cell.
+	dl := g.dlon()
+	lon = math.Mod(math.Mod(lon, 2*math.Pi)+2*math.Pi, 2*math.Pi)
+	fi := lon / dl
+	i0 := int(math.Floor(fi))
+	si := fi - float64(i0)
+
+	// Latitude cell: clamp to the interior.
+	j0 := searchLat(g.Lat, lat)
+	var sj float64
+	if j0 < 0 {
+		j0, sj = 0, 0
+	} else if j0 >= g.NLat-1 {
+		j0, sj = g.NLat-2, 1
+	} else {
+		sj = (lat - g.Lat[j0]) / (g.Lat[j0+1] - g.Lat[j0])
+	}
+
+	// Interpolate along longitude on four latitude rows, then along
+	// latitude.
+	var rows [4]float64
+	for r := 0; r < 4; r++ {
+		j := clampInt(j0-1+r, 0, g.NLat-1)
+		fm1 := q[g.index(j, i0-1)]
+		f0 := q[g.index(j, i0)]
+		f1 := q[g.index(j, i0+1)]
+		f2 := q[g.index(j, i0+2)]
+		rows[r] = interp1D(fm1, f0, f1, f2, si)
+	}
+	return interp1D(rows[0], rows[1], rows[2], rows[3], sj)
+}
+
+// searchLat returns the largest j with Lat[j] <= lat, or -1.
+func searchLat(lat []float64, v float64) int {
+	lo, hi := 0, len(lat)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lat[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Advect transports q for one time step dt [s] with wind components
+// u, v [rad/s] in longitude/latitude (angular velocities), using a
+// two-pass iterated midpoint departure-point calculation. It returns
+// the transported field.
+func (g *Grid) Advect(q, u, v []float64, dt float64) []float64 {
+	return g.AdvectParallel(q, u, v, dt, 1)
+}
+
+// AdvectParallel is Advect with the latitude rows distributed over
+// procs goroutines (a microtasked loop in SX-4 terms; see package
+// commreg). Results are bit-identical to the serial path: rows write
+// disjoint output.
+func (g *Grid) AdvectParallel(q, u, v []float64, dt float64, procs int) []float64 {
+	if len(q) != g.NLat*g.NLon || len(u) != len(q) || len(v) != len(q) {
+		panic("slt: field length mismatch")
+	}
+	out := make([]float64, len(q))
+	dl := g.dlon()
+	commreg.ParallelFor(procs, g.NLat, func(j int) {
+		for i := 0; i < g.NLon; i++ {
+			idx := j*g.NLon + i
+			lon := float64(i) * dl
+			lat := g.Lat[j]
+			// First guess: Euler backward from the arrival point.
+			depLon := lon - u[idx]*dt
+			depLat := lat - v[idx]*dt
+			// Midpoint iteration: wind at the midpoint of the
+			// trajectory (interpolated linearly via the same scheme).
+			for it := 0; it < 2; it++ {
+				midLon := lon - 0.5*u[idx]*dt
+				midLat := lat - 0.5*v[idx]*dt
+				um := g.Interpolate(u, midLon, clampLat(midLat))
+				vm := g.Interpolate(v, midLon, clampLat(midLat))
+				depLon = lon - um*dt
+				depLat = lat - vm*dt
+			}
+			out[idx] = g.Interpolate(q, depLon, clampLat(depLat))
+		}
+	})
+	return out
+}
+
+func clampLat(lat float64) float64 {
+	const cap = math.Pi/2 - 1e-9
+	if lat > cap {
+		return cap
+	}
+	if lat < -cap {
+		return -cap
+	}
+	return lat
+}
+
+// Extrema returns the global min and max of a field.
+func Extrema(q []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range q {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,218 @@
+package slt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConstantFieldPreserved(t *testing.T) {
+	g := UniformGrid(32, 16)
+	q := make([]float64, 32*16)
+	u := make([]float64, len(q))
+	v := make([]float64, len(q))
+	for i := range q {
+		q[i] = 3.25
+		u[i] = 1e-5
+		v[i] = 5e-6
+	}
+	out := g.Advect(q, u, v, 1800)
+	for i, val := range out {
+		if math.Abs(val-3.25) > 1e-12 {
+			t.Fatalf("constant not preserved at %d: %v", i, val)
+		}
+	}
+}
+
+func TestShapePreserving(t *testing.T) {
+	// The transported field must never exceed the original extrema.
+	g := UniformGrid(48, 24)
+	rng := rand.New(rand.NewSource(3))
+	q := make([]float64, 48*24)
+	u := make([]float64, len(q))
+	v := make([]float64, len(q))
+	for i := range q {
+		q[i] = rng.Float64() // in [0,1)
+		u[i] = 2e-5 * rng.NormFloat64()
+		v[i] = 1e-5 * rng.NormFloat64()
+	}
+	lo0, hi0 := Extrema(q)
+	cur := q
+	for step := 0; step < 20; step++ {
+		cur = g.Advect(cur, u, v, 1800)
+		lo, hi := Extrema(cur)
+		if lo < lo0-1e-12 || hi > hi0+1e-12 {
+			t.Fatalf("step %d: extrema [%v,%v] exceed initial [%v,%v]", step, lo, hi, lo0, hi0)
+		}
+	}
+}
+
+func TestPositivityOfTracer(t *testing.T) {
+	// A non-negative tracer stays non-negative (consequence of shape
+	// preservation, crucial for water vapor).
+	g := UniformGrid(32, 16)
+	q := make([]float64, 32*16)
+	u := make([]float64, len(q))
+	v := make([]float64, len(q))
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 32; i++ {
+			if i > 8 && i < 16 && j > 4 && j < 10 {
+				q[j*32+i] = 1 // a plume
+			}
+			u[j*32+i] = 3e-5
+		}
+	}
+	cur := q
+	for step := 0; step < 50; step++ {
+		cur = g.Advect(cur, u, v, 3600)
+	}
+	for i, v := range cur {
+		if v < 0 {
+			t.Fatalf("negative tracer %v at %d", v, i)
+		}
+	}
+}
+
+func TestSolidBodyZonalRotationReturns(t *testing.T) {
+	// Advect a smooth bump one full revolution in longitude; it must
+	// come back close to where it started (semi-Lagrangian schemes
+	// allow long steps with little dispersion).
+	nlon, nlat := 64, 24
+	g := UniformGrid(nlon, nlat)
+	q := make([]float64, nlon*nlat)
+	u := make([]float64, len(q))
+	v := make([]float64, len(q))
+	for j := 0; j < nlat; j++ {
+		for i := 0; i < nlon; i++ {
+			lon := 2 * math.Pi * float64(i) / float64(nlon)
+			q[j*nlon+i] = math.Exp(-18 * (math.Pow(math.Cos(g.Lat[j]), 2) * math.Pow(math.Sin((lon-math.Pi)/2), 2)))
+			u[j*nlon+i] = 2 * math.Pi / (64 * 3600) // one revolution in 64 hours
+		}
+	}
+	cur := make([]float64, len(q))
+	copy(cur, q)
+	for step := 0; step < 64; step++ {
+		cur = g.Advect(cur, u, v, 3600)
+	}
+	// Compare against the initial field.
+	var num, den float64
+	for i := range q {
+		num += (cur[i] - q[i]) * (cur[i] - q[i])
+		den += q[i] * q[i]
+	}
+	relL2 := math.Sqrt(num / den)
+	if relL2 > 0.15 {
+		t.Errorf("after one revolution, relative L2 error = %v, want <= 0.15", relL2)
+	}
+}
+
+func TestInterpolateExactAtNodes(t *testing.T) {
+	g := UniformGrid(16, 8)
+	rng := rand.New(rand.NewSource(9))
+	q := make([]float64, 16*8)
+	for i := range q {
+		q[i] = rng.Float64()
+	}
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 16; i++ {
+			got := g.Interpolate(q, 2*math.Pi*float64(i)/16, g.Lat[j])
+			if math.Abs(got-q[j*16+i]) > 1e-12 {
+				t.Fatalf("interpolation not exact at node (%d,%d): %v vs %v", j, i, got, q[j*16+i])
+			}
+		}
+	}
+}
+
+func TestInterp1DMonotone(t *testing.T) {
+	// Between two nodes the interpolant stays within their values.
+	for s := 0.0; s <= 1.0; s += 0.05 {
+		v := interp1D(0, 1, 2, 10, s) // steep gradient beyond
+		if v < 1-1e-12 || v > 2+1e-12 {
+			t.Fatalf("interp1D(%v) = %v escapes [1,2]", s, v)
+		}
+	}
+	// At a local extremum the slope limiter flattens: no overshoot.
+	v := interp1D(0, 1, 0.5, 2, 0.5)
+	if v > 1 || v < 0.5 {
+		t.Errorf("extremum interpolation %v escapes [0.5,1]", v)
+	}
+}
+
+func TestMonotoneSlopeProperties(t *testing.T) {
+	if monotoneSlope(1, -1) != 0 {
+		t.Error("slope at extremum not zero")
+	}
+	if monotoneSlope(0, 1) != 0 {
+		t.Error("slope with flat side not zero")
+	}
+	s := monotoneSlope(1, 3)
+	if s <= 0 || s > 3 {
+		t.Errorf("harmonic slope %v out of range", s)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGrid(2, []float64{0, 1, 2, 3}) },
+		func() { NewGrid(8, []float64{0, 1}) },
+		func() { NewGrid(8, []float64{0, 1, 1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid grid did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSearchLat(t *testing.T) {
+	lat := []float64{-1, 0, 1, 2}
+	cases := []struct {
+		v    float64
+		want int
+	}{{-2, -1}, {-1, 0}, {-0.5, 0}, {0.5, 1}, {2, 3}, {5, 3}}
+	for _, c := range cases {
+		if got := searchLat(lat, c.v); got != c.want {
+			t.Errorf("searchLat(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParallelAdvectBitIdentical(t *testing.T) {
+	g := UniformGrid(48, 24)
+	rng := rand.New(rand.NewSource(11))
+	q := make([]float64, 48*24)
+	u := make([]float64, len(q))
+	v := make([]float64, len(q))
+	for i := range q {
+		q[i] = rng.Float64()
+		u[i] = 2e-5 * rng.NormFloat64()
+		v[i] = 1e-5 * rng.NormFloat64()
+	}
+	serial := g.AdvectParallel(q, u, v, 1800, 1)
+	for _, procs := range []int{2, 4, 8} {
+		par := g.AdvectParallel(q, u, v, 1800, procs)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("procs=%d: parallel result differs at %d", procs, i)
+			}
+		}
+	}
+}
+
+func TestLongitudePeriodicity(t *testing.T) {
+	g := UniformGrid(16, 8)
+	q := make([]float64, 16*8)
+	for i := range q {
+		q[i] = float64(i % 16)
+	}
+	a := g.Interpolate(q, 0.3, 0.2)
+	b := g.Interpolate(q, 0.3+2*math.Pi, 0.2)
+	c := g.Interpolate(q, 0.3-2*math.Pi, 0.2)
+	if math.Abs(a-b) > 1e-12 || math.Abs(a-c) > 1e-12 {
+		t.Errorf("interpolation not periodic: %v %v %v", a, b, c)
+	}
+}

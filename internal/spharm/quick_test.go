@@ -1,0 +1,103 @@
+package spharm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickLinearity(t *testing.T) {
+	tr := New(8, 13, 25)
+	f := func(seed int64, a8, b8 int8) bool {
+		a := float64(a8) / 16
+		b := float64(b8) / 16
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, tr.GridLen())
+		y := make([]float64, tr.GridLen())
+		mix := make([]float64, tr.GridLen())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			mix[i] = a*x[i] + b*y[i]
+		}
+		fx := tr.Forward(x)
+		fy := tr.Forward(y)
+		fm := tr.Forward(mix)
+		for i := range fm {
+			want := complex(a, 0)*fx[i] + complex(b, 0)*fy[i]
+			if cmplx.Abs(fm[i]-want) > 1e-10*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLongitudeShiftPhase(t *testing.T) {
+	// Rotating the grid one longitude index multiplies a_n^m by
+	// e^{-im 2π/nlon}.
+	tr := New(6, 10, 20)
+	f := func(seed int64) bool {
+		spec := randomSpec(tr, seed)
+		grid := tr.Inverse(spec)
+		shifted := make([]float64, len(grid))
+		nlon := tr.NLon
+		for j := 0; j < tr.NLat; j++ {
+			for i := 0; i < nlon; i++ {
+				shifted[j*nlon+i] = grid[j*nlon+(i+1)%nlon]
+			}
+		}
+		got := tr.Forward(shifted)
+		for m := 0; m <= tr.T; m++ {
+			phase := cmplx.Exp(complex(0, float64(m)*2*math.Pi/float64(nlon)))
+			for n := m; n <= tr.T; n++ {
+				i := tr.Idx(m, n)
+				want := spec[i] * phase
+				if cmplx.Abs(got[i]-want) > 1e-10*(1+cmplx.Abs(want)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParityUnderHemisphereFlip(t *testing.T) {
+	// Flipping latitude (μ -> -μ) multiplies a_n^m by (-1)^{n+m}
+	// (spherical-harmonic parity).
+	tr := New(6, 10, 20)
+	f := func(seed int64) bool {
+		spec := randomSpec(tr, seed)
+		grid := tr.Inverse(spec)
+		flipped := make([]float64, len(grid))
+		nlat, nlon := tr.NLat, tr.NLon
+		for j := 0; j < nlat; j++ {
+			copy(flipped[j*nlon:(j+1)*nlon], grid[(nlat-1-j)*nlon:(nlat-j)*nlon])
+		}
+		got := tr.Forward(flipped)
+		for m := 0; m <= tr.T; m++ {
+			for n := m; n <= tr.T; n++ {
+				i := tr.Idx(m, n)
+				want := spec[i]
+				if (n+m)%2 == 1 {
+					want = -want
+				}
+				if cmplx.Abs(got[i]-want) > 1e-10*(1+cmplx.Abs(want)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package spharm implements the spherical-harmonic (spectral) transform
+// method on the Gaussian grid: the dry-dynamics machinery of CCM2. It
+// provides forward (grid to spectral) and inverse (spectral to grid)
+// transforms under triangular truncation, the spectral differential
+// operators (Laplacian, longitude derivative, the integrated-by-parts
+// divergence transform), and the wind synthesis from vorticity and
+// divergence used by the shallow-water dynamical core.
+//
+// Conventions: a real field f(λ, μ) on nlat Gaussian latitudes (μ =
+// sin φ ascending) by nlon equally spaced longitudes is represented by
+// complex coefficients a_n^m, 0 <= m <= T, m <= n <= T, with
+//
+//	f = Re Σ_m Σ_n a_n^m P̄_n^m(μ) e^{imλ} * (2 - δ_{m0})/...
+//
+// concretely: f = Σ_n a_n^0 P̄ + 2 Re Σ_{m>=1} Σ_n a_n^m P̄ e^{imλ}.
+package spharm
+
+import (
+	"fmt"
+	"math"
+
+	"sx4bench/internal/fftpack"
+	"sx4bench/internal/gauss"
+	"sx4bench/internal/sx4/commreg"
+)
+
+// EarthRadius is the sphere radius used by the models [m].
+const EarthRadius = 6.37122e6
+
+// Transform holds precomputed quadrature and basis tables for one
+// resolution.
+type Transform struct {
+	T    int // triangular truncation wavenumber
+	NLat int
+	NLon int
+	A    float64 // sphere radius
+
+	x, w []float64 // Gaussian nodes (ascending sin-latitude), weights
+
+	// pbar[j] holds P̄_n^m(x_j) for m<=T, n<=T+1 (one extra degree for
+	// derivative synthesis), laid out by gauss.PbarIdx(T, T+1, m, n).
+	pbar [][]float64
+	// hbar[j] holds H_n^m(x_j) = (1-μ²) dP̄_n^m/dμ for m<=T, n<=T,
+	// laid out by Idx (the n<=T triangle).
+	hbar [][]float64
+
+	// HostProcs parallelizes the synthesis over latitude rows on the
+	// host (bit-identical to serial). Zero means serial.
+	HostProcs int
+}
+
+// CanonicalGrid returns the paper's Table 4 grid for a truncation:
+// T42 -> 64x128 ... T170 -> 256x512. For other truncations it returns
+// the smallest FFT-friendly unaliased grid.
+func CanonicalGrid(T int) (nlat, nlon int) {
+	switch T {
+	case 42:
+		return 64, 128
+	case 63:
+		return 96, 192
+	case 85:
+		return 128, 256
+	case 106:
+		return 160, 320
+	case 170:
+		return 256, 512
+	}
+	// Unaliased quadratic grid: nlon >= 3T+1, factorable into 2,3,5,
+	// even; nlat = nlon/2.
+	nlon = 3*T + 1
+	for nlon%2 != 0 || !fftpack.Supported(nlon) {
+		nlon++
+	}
+	return nlon / 2, nlon
+}
+
+// New builds a transform for truncation T on an nlat x nlon Gaussian
+// grid. nlon must factor into 2, 3, 5; aliasing requires nlon >= 3T+1
+// and 2*nlat >= 3T+1.
+func New(T, nlat, nlon int) *Transform {
+	if T < 1 {
+		panic(fmt.Sprintf("spharm: truncation %d too small", T))
+	}
+	if nlon < 3*T+1 || 2*nlat < 3*T+1 {
+		panic(fmt.Sprintf("spharm: grid %dx%d aliases T%d", nlat, nlon, T))
+	}
+	if !fftpack.Supported(nlon) {
+		panic(fmt.Sprintf("spharm: nlon %d not FFT-supported", nlon))
+	}
+	x, w := gauss.Nodes(nlat)
+	t := &Transform{T: T, NLat: nlat, NLon: nlon, A: EarthRadius, x: x, w: w}
+	t.pbar = make([][]float64, nlat)
+	t.hbar = make([][]float64, nlat)
+	for j := 0; j < nlat; j++ {
+		t.pbar[j] = gauss.Pbar(T, T+1, x[j])
+		t.hbar[j] = make([]float64, t.SpecLen())
+		for m := 0; m <= T; m++ {
+			for n := m; n <= T; n++ {
+				// H_n^m = (n+1) ε_n^m P̄_{n-1}^m - n ε_{n+1}^m P̄_{n+1}^m.
+				var below float64
+				if n-1 >= m {
+					below = t.pbar[j][gauss.PbarIdx(T, T+1, m, n-1)]
+				}
+				above := t.pbar[j][gauss.PbarIdx(T, T+1, m, n+1)]
+				t.hbar[j][t.Idx(m, n)] =
+					float64(n+1)*gauss.Epsilon(m, n)*below -
+						float64(n)*gauss.Epsilon(m, n+1)*above
+			}
+		}
+	}
+	return t
+}
+
+// NewCanonical builds the transform on the canonical grid for T.
+func NewCanonical(T int) *Transform {
+	nlat, nlon := CanonicalGrid(T)
+	return New(T, nlat, nlon)
+}
+
+// SpecLen returns the number of spectral coefficients (the n<=T
+// triangle).
+func (t *Transform) SpecLen() int { return (t.T + 1) * (t.T + 2) / 2 }
+
+// GridLen returns nlat*nlon.
+func (t *Transform) GridLen() int { return t.NLat * t.NLon }
+
+// Idx returns the flat index of coefficient (m, n), n <= T.
+func (t *Transform) Idx(m, n int) int {
+	if m < 0 || m > t.T || n < m || n > t.T {
+		panic(fmt.Sprintf("spharm: coefficient (m=%d,n=%d) outside T%d", m, n, t.T))
+	}
+	off := m*(t.T+1) - m*(m-1)/2
+	return off + (n - m)
+}
+
+// Mu returns the Gaussian sin-latitudes (ascending).
+func (t *Transform) Mu() []float64 { return t.x }
+
+// Weights returns the Gaussian weights.
+func (t *Transform) Weights() []float64 { return t.w }
+
+// fourierRows computes the truncated Fourier coefficients F^m_j =
+// (1/nlon) Σ_i f(j,i) e^{-imλ_i} for every latitude row.
+func (t *Transform) fourierRows(grid []float64) [][]complex128 {
+	if len(grid) != t.GridLen() {
+		panic("spharm: grid length mismatch")
+	}
+	rows := make([][]complex128, t.NLat)
+	inv := 1 / float64(t.NLon)
+	for j := 0; j < t.NLat; j++ {
+		h := fftpack.RealForward(grid[j*t.NLon : (j+1)*t.NLon])
+		row := make([]complex128, t.T+1)
+		for m := 0; m <= t.T; m++ {
+			row[m] = h[m] * complex(inv, 0)
+		}
+		rows[j] = row
+	}
+	return rows
+}
+
+// Forward transforms a grid field to spectral coefficients.
+func (t *Transform) Forward(grid []float64) []complex128 {
+	rows := t.fourierRows(grid)
+	spec := make([]complex128, t.SpecLen())
+	for j := 0; j < t.NLat; j++ {
+		wj := complex(t.w[j], 0)
+		for m := 0; m <= t.T; m++ {
+			fm := rows[j][m] * wj
+			for n := m; n <= t.T; n++ {
+				spec[t.Idx(m, n)] += fm * complex(t.pbar[j][gauss.PbarIdx(t.T, t.T+1, m, n)], 0)
+			}
+		}
+	}
+	return spec
+}
+
+// Inverse transforms spectral coefficients to the grid.
+func (t *Transform) Inverse(spec []complex128) []float64 {
+	return t.synthesize(spec, t.pbarAt)
+}
+
+// InverseMuDeriv synthesizes H = (1-μ²) ∂f/∂μ on the grid from the
+// spectral coefficients of f.
+func (t *Transform) InverseMuDeriv(spec []complex128) []float64 {
+	return t.synthesize(spec, t.hbarAt)
+}
+
+func (t *Transform) pbarAt(j, m, n int) float64 {
+	return t.pbar[j][gauss.PbarIdx(t.T, t.T+1, m, n)]
+}
+
+func (t *Transform) hbarAt(j, m, n int) float64 { return t.hbar[j][t.Idx(m, n)] }
+
+func (t *Transform) synthesize(spec []complex128, basis func(j, m, n int) float64) []float64 {
+	if len(spec) != t.SpecLen() {
+		panic("spharm: spectral length mismatch")
+	}
+	grid := make([]float64, t.GridLen())
+	// Latitude rows are independent: a microtasked loop (HostProcs=1
+	// keeps it serial; results are bit-identical either way).
+	commreg.ParallelFor(t.HostProcs, t.NLat, func(j int) {
+		half := make([]complex128, t.NLon/2+1)
+		for m := 0; m <= t.T; m++ {
+			var fm complex128
+			for n := m; n <= t.T; n++ {
+				fm += spec[t.Idx(m, n)] * complex(basis(j, m, n), 0)
+			}
+			half[m] = fm * complex(float64(t.NLon), 0)
+		}
+		row := fftpack.RealInverse(half, t.NLon)
+		copy(grid[j*t.NLon:(j+1)*t.NLon], row)
+	})
+	return grid
+}
+
+// ForwardDiv computes the spectral coefficients of
+//
+//	(1/(a(1-μ²))) ∂A/∂λ + (1/a) ∂B/∂μ
+//
+// from the grid fields A and B, integrating the μ-derivative by parts
+// against the Legendre basis (the standard trick that keeps the
+// transform exact under truncation).
+func (t *Transform) ForwardDiv(A, B []float64) []complex128 {
+	rowsA := t.fourierRows(A)
+	rowsB := t.fourierRows(B)
+	spec := make([]complex128, t.SpecLen())
+	for j := 0; j < t.NLat; j++ {
+		oneMinus := 1 - t.x[j]*t.x[j]
+		wA := complex(t.w[j]/(t.A*oneMinus), 0)
+		wB := complex(t.w[j]/(t.A*oneMinus), 0)
+		for m := 0; m <= t.T; m++ {
+			am := rowsA[j][m] * wA
+			bm := rowsB[j][m] * wB
+			im := complex(0, float64(m))
+			for n := m; n <= t.T; n++ {
+				p := complex(t.pbarAt(j, m, n), 0)
+				h := complex(t.hbarAt(j, m, n), 0)
+				spec[t.Idx(m, n)] += im*am*p - bm*h
+			}
+		}
+	}
+	return spec
+}
+
+// Laplacian applies ∇² in place: multiplication by -n(n+1)/a².
+func (t *Transform) Laplacian(spec []complex128) {
+	for m := 0; m <= t.T; m++ {
+		for n := m; n <= t.T; n++ {
+			spec[t.Idx(m, n)] *= complex(-float64(n)*float64(n+1)/(t.A*t.A), 0)
+		}
+	}
+}
+
+// InvLaplacian applies ∇⁻² in place; the n=0 mode is set to zero.
+func (t *Transform) InvLaplacian(spec []complex128) {
+	for m := 0; m <= t.T; m++ {
+		for n := m; n <= t.T; n++ {
+			if n == 0 {
+				spec[t.Idx(m, n)] = 0
+				continue
+			}
+			spec[t.Idx(m, n)] *= complex(-(t.A*t.A)/(float64(n)*float64(n+1)), 0)
+		}
+	}
+}
+
+// UV synthesizes the scaled winds U = u cosφ and V = v cosφ on the
+// grid from spectral vorticity and divergence:
+//
+//	ψ = ∇⁻²ζ, χ = ∇⁻²δ,
+//	U = (1/a)(∂χ/∂λ - (1-μ²)∂ψ/∂μ),
+//	V = (1/a)(∂ψ/∂λ + (1-μ²)∂χ/∂μ).
+func (t *Transform) UV(zeta, delta []complex128) (U, V []float64) {
+	psi := make([]complex128, len(zeta))
+	chi := make([]complex128, len(delta))
+	copy(psi, zeta)
+	copy(chi, delta)
+	t.InvLaplacian(psi)
+	t.InvLaplacian(chi)
+
+	dlPsi := make([]complex128, len(psi))
+	dlChi := make([]complex128, len(chi))
+	for m := 0; m <= t.T; m++ {
+		im := complex(0, float64(m))
+		for n := m; n <= t.T; n++ {
+			i := t.Idx(m, n)
+			dlPsi[i] = im * psi[i]
+			dlChi[i] = im * chi[i]
+		}
+	}
+	gU1 := t.Inverse(dlChi)      // ∂χ/∂λ
+	gU2 := t.InverseMuDeriv(psi) // (1-μ²)∂ψ/∂μ
+	gV1 := t.Inverse(dlPsi)      // ∂ψ/∂λ
+	gV2 := t.InverseMuDeriv(chi) // (1-μ²)∂χ/∂μ
+
+	U = make([]float64, t.GridLen())
+	V = make([]float64, t.GridLen())
+	for i := range U {
+		U[i] = (gU1[i] - gU2[i]) / t.A
+		V[i] = (gV1[i] + gV2[i]) / t.A
+	}
+	return U, V
+}
+
+// MeanValue returns the area-weighted global mean of a grid field.
+func (t *Transform) MeanValue(grid []float64) float64 {
+	var sum float64
+	for j := 0; j < t.NLat; j++ {
+		var rowSum float64
+		for i := 0; i < t.NLon; i++ {
+			rowSum += grid[j*t.NLon+i]
+		}
+		sum += t.w[j] * rowSum / float64(t.NLon)
+	}
+	return sum / 2 // weights sum to 2
+}
+
+// Longitudes returns the nlon longitude values in radians.
+func (t *Transform) Longitudes() []float64 {
+	l := make([]float64, t.NLon)
+	for i := range l {
+		l[i] = 2 * math.Pi * float64(i) / float64(t.NLon)
+	}
+	return l
+}

@@ -1,0 +1,258 @@
+package spharm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomSpec(t *Transform, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	spec := make([]complex128, t.SpecLen())
+	for m := 0; m <= t.T; m++ {
+		for n := m; n <= t.T; n++ {
+			re := rng.NormFloat64()
+			im := rng.NormFloat64()
+			if m == 0 {
+				im = 0 // m=0 coefficients of a real field are real
+			}
+			spec[t.Idx(m, n)] = complex(re, im)
+		}
+	}
+	return spec
+}
+
+func maxAbsDiffC(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		d := real(a[i]-b[i])*real(a[i]-b[i]) + imag(a[i]-b[i])*imag(a[i]-b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return math.Sqrt(m)
+}
+
+func TestCanonicalGrids(t *testing.T) {
+	cases := []struct{ T, nlat, nlon int }{
+		{42, 64, 128}, {63, 96, 192}, {85, 128, 256}, {106, 160, 320}, {170, 256, 512},
+	}
+	for _, c := range cases {
+		nlat, nlon := CanonicalGrid(c.T)
+		if nlat != c.nlat || nlon != c.nlon {
+			t.Errorf("CanonicalGrid(T%d) = %dx%d, want %dx%d (Table 4)", c.T, nlat, nlon, c.nlat, c.nlon)
+		}
+	}
+	// Fallback: unaliased and FFT friendly.
+	nlat, nlon := CanonicalGrid(10)
+	if nlon < 31 || 2*nlat < 31 {
+		t.Errorf("fallback grid %dx%d aliases T10", nlat, nlon)
+	}
+}
+
+func TestRoundTripSpectral(t *testing.T) {
+	// Inverse then Forward must reproduce any truncated spectrum.
+	tr := New(10, 16, 32)
+	spec := randomSpec(tr, 1)
+	back := tr.Forward(tr.Inverse(spec))
+	if d := maxAbsDiffC(spec, back); d > 1e-10 {
+		t.Errorf("spectral round trip error %g", d)
+	}
+}
+
+func TestRoundTripT42(t *testing.T) {
+	tr := NewCanonical(42)
+	spec := randomSpec(tr, 2)
+	back := tr.Forward(tr.Inverse(spec))
+	if d := maxAbsDiffC(spec, back); d > 1e-9 {
+		t.Errorf("T42 round trip error %g", d)
+	}
+}
+
+func TestForwardOfSingleHarmonic(t *testing.T) {
+	tr := New(8, 13, 25)
+	// Grid field = real part of a single Y_n^m: its transform should
+	// have exactly that coefficient.
+	spec := make([]complex128, tr.SpecLen())
+	spec[tr.Idx(3, 5)] = complex(1.3, -0.4)
+	grid := tr.Inverse(spec)
+	got := tr.Forward(grid)
+	for m := 0; m <= tr.T; m++ {
+		for n := m; n <= tr.T; n++ {
+			want := complex(0, 0)
+			if m == 3 && n == 5 {
+				want = complex(1.3, -0.4)
+			}
+			if d := got[tr.Idx(m, n)] - want; math.Hypot(real(d), imag(d)) > 1e-11 {
+				t.Errorf("coefficient (%d,%d) = %v, want %v", m, n, got[tr.Idx(m, n)], want)
+			}
+		}
+	}
+}
+
+func TestMeanValue(t *testing.T) {
+	tr := New(5, 8, 16)
+	grid := make([]float64, tr.GridLen())
+	for i := range grid {
+		grid[i] = 7.5
+	}
+	if got := tr.MeanValue(grid); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("mean of constant = %v, want 7.5", got)
+	}
+	// The (0,0) coefficient carries the mean: f = a00 * P̄_0^0 = a00/sqrt(2).
+	spec := tr.Forward(grid)
+	if got := real(spec[tr.Idx(0, 0)]) / math.Sqrt2; math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("a00/sqrt(2) = %v, want 7.5", got)
+	}
+}
+
+func TestLaplacianEigenvalues(t *testing.T) {
+	tr := New(6, 10, 20)
+	spec := make([]complex128, tr.SpecLen())
+	spec[tr.Idx(2, 4)] = 1
+	tr.Laplacian(spec)
+	want := -4.0 * 5.0 / (tr.A * tr.A)
+	if got := real(spec[tr.Idx(2, 4)]); math.Abs(got-want) > 1e-25 {
+		t.Errorf("Laplacian eigenvalue = %g, want %g", got, want)
+	}
+	tr.InvLaplacian(spec)
+	if got := real(spec[tr.Idx(2, 4)]); math.Abs(got-1) > 1e-12 {
+		t.Errorf("InvLaplacian did not invert: %v", got)
+	}
+	// n=0 mode is annihilated.
+	spec2 := make([]complex128, tr.SpecLen())
+	spec2[tr.Idx(0, 0)] = 3
+	tr.InvLaplacian(spec2)
+	if spec2[tr.Idx(0, 0)] != 0 {
+		t.Error("InvLaplacian kept the n=0 mode")
+	}
+}
+
+func TestUVSolidBodyRotation(t *testing.T) {
+	// ψ = -Ω a² μ gives u = Ω a cosφ (solid-body rotation), v = 0.
+	// ζ = ∇²ψ = 2 Ω μ: a pure (0,1) harmonic.
+	tr := New(10, 16, 32)
+	omega := 3e-6
+	zeta := make([]complex128, tr.SpecLen())
+	// 2Ωμ = 2Ω P̄_1^0 / sqrt(1.5): since P̄_1^0 = sqrt(3/2) μ.
+	zeta[tr.Idx(0, 1)] = complex(2*omega/math.Sqrt(1.5), 0)
+	delta := make([]complex128, tr.SpecLen())
+	U, V := tr.UV(zeta, delta)
+	for j := 0; j < tr.NLat; j++ {
+		mu := tr.Mu()[j]
+		cos2 := 1 - mu*mu
+		wantU := omega * tr.A * cos2 // U = u cosφ = Ωa cos²φ
+		for i := 0; i < tr.NLon; i++ {
+			if math.Abs(U[j*tr.NLon+i]-wantU) > 1e-6*math.Abs(wantU)+1e-9 {
+				t.Fatalf("U(%d,%d) = %v, want %v", j, i, U[j*tr.NLon+i], wantU)
+			}
+			if math.Abs(V[j*tr.NLon+i]) > 1e-9 {
+				t.Fatalf("V(%d,%d) = %v, want 0", j, i, V[j*tr.NLon+i])
+			}
+		}
+	}
+}
+
+func TestForwardDivOfSolidBodyFlux(t *testing.T) {
+	// For solid-body rotation, A = U(ζ+f) is zonally symmetric and
+	// V = 0, so the vorticity tendency -div = 0.
+	tr := New(10, 16, 32)
+	omega := 3e-6
+	U := make([]float64, tr.GridLen())
+	A := make([]float64, tr.GridLen())
+	B := make([]float64, tr.GridLen())
+	for j := 0; j < tr.NLat; j++ {
+		mu := tr.Mu()[j]
+		for i := 0; i < tr.NLon; i++ {
+			U[j*tr.NLon+i] = omega * tr.A * (1 - mu*mu)
+			A[j*tr.NLon+i] = U[j*tr.NLon+i] * (2 * omega * mu)
+		}
+	}
+	spec := tr.ForwardDiv(A, B)
+	// ∂A/∂λ = 0 and B = 0 except the μ-derivative of A... A depends on
+	// μ only, and ForwardDiv's second argument is B=0, so the result
+	// must vanish identically.
+	for i, c := range spec {
+		if math.Hypot(real(c), imag(c)) > 1e-18 {
+			t.Fatalf("ForwardDiv coefficient %d = %v, want 0", i, c)
+		}
+	}
+}
+
+func TestForwardDivMatchesLaplacian(t *testing.T) {
+	// For a gradient flow (A, B) = ((1/a)∂f/∂λ, (1/a)(1-μ²)∂f/∂μ),
+	// (1/(a(1-μ²)))∂A/∂λ + (1/a)∂B/∂μ = ∇²f... verify against the
+	// spectral Laplacian on a random truncated field. Use a truncation
+	// margin so the products remain representable.
+	tr := New(20, 32, 64)
+	inner := 9 // field truncated well inside T
+	spec := make([]complex128, tr.SpecLen())
+	rng := rand.New(rand.NewSource(5))
+	for m := 0; m <= inner; m++ {
+		for n := m; n <= inner; n++ {
+			im := rng.NormFloat64()
+			if m == 0 {
+				im = 0
+			}
+			spec[tr.Idx(m, n)] = complex(rng.NormFloat64(), im)
+		}
+	}
+	// Build A = (1/a) ∂f/∂λ and B = (1/a)(1-μ²)∂f/∂μ on the grid.
+	dl := make([]complex128, tr.SpecLen())
+	for m := 0; m <= tr.T; m++ {
+		for n := m; n <= tr.T; n++ {
+			dl[tr.Idx(m, n)] = complex(0, float64(m)) * spec[tr.Idx(m, n)]
+		}
+	}
+	gA := tr.Inverse(dl)
+	gB := tr.InverseMuDeriv(spec)
+	for i := range gA {
+		gA[i] /= tr.A
+		gB[i] /= tr.A
+	}
+	got := tr.ForwardDiv(gA, gB)
+	want := make([]complex128, tr.SpecLen())
+	copy(want, spec)
+	tr.Laplacian(want)
+	// Compare on the inner truncation.
+	for m := 0; m <= inner; m++ {
+		for n := m; n <= inner; n++ {
+			i := tr.Idx(m, n)
+			diff := got[i] - want[i]
+			scale := math.Hypot(real(want[i]), imag(want[i])) + 1e-18
+			if math.Hypot(real(diff), imag(diff)) > 1e-6*scale {
+				t.Fatalf("ForwardDiv != Laplacian at (m=%d,n=%d): %v vs %v", m, n, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnAliasedGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("aliased grid did not panic")
+		}
+	}()
+	New(42, 32, 64)
+}
+
+func TestIdxPanics(t *testing.T) {
+	tr := New(5, 8, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad index did not panic")
+		}
+	}()
+	tr.Idx(3, 2)
+}
+
+func TestLongitudes(t *testing.T) {
+	tr := New(5, 8, 16)
+	l := tr.Longitudes()
+	if len(l) != 16 || l[0] != 0 {
+		t.Fatalf("longitudes %v", l[:2])
+	}
+	if math.Abs(l[8]-math.Pi) > 1e-14 {
+		t.Errorf("l[8] = %v, want pi", l[8])
+	}
+}

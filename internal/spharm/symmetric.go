@@ -1,0 +1,91 @@
+package spharm
+
+import (
+	"sx4bench/internal/fftpack"
+	"sx4bench/internal/gauss"
+)
+
+// Hemispheric symmetry: P̄_n^m has parity (-1)^{n+m} about the equator,
+// so folding the northern and southern Gaussian rows into symmetric and
+// antisymmetric halves lets the Legendre sums run over nlat/2 rows —
+// the classic factor-of-two optimization every production spectral
+// model (CCM2 included) uses.
+
+// ForwardSym computes the same coefficients as Forward using the
+// folded (half-latitude) sums. Requires an even nlat.
+func (t *Transform) ForwardSym(grid []float64) []complex128 {
+	if t.NLat%2 != 0 {
+		return t.Forward(grid)
+	}
+	rows := t.fourierRows(grid)
+	half := t.NLat / 2
+	spec := make([]complex128, t.SpecLen())
+	for j := 0; j < half; j++ {
+		jn := t.NLat - 1 - j // mirror row (northern partner of j)
+		wj := complex(t.w[j], 0)
+		for m := 0; m <= t.T; m++ {
+			south := rows[j][m]
+			north := rows[jn][m]
+			sym := (south + north) * wj
+			anti := (north - south) * wj
+			for n := m; n <= t.T; n++ {
+				// Basis evaluated on the northern-hemisphere row; the
+				// southern row's contribution is folded in through the
+				// parity of P̄_n^m.
+				p := complex(t.pbar[jn][gauss.PbarIdx(t.T, t.T+1, m, n)], 0)
+				if (n+m)%2 == 0 {
+					spec[t.Idx(m, n)] += sym * p
+				} else {
+					spec[t.Idx(m, n)] += anti * p
+				}
+			}
+		}
+	}
+	return spec
+}
+
+// InverseSym synthesizes the grid using the folded sums.
+func (t *Transform) InverseSym(spec []complex128) []float64 {
+	if t.NLat%2 != 0 {
+		return t.Inverse(spec)
+	}
+	if len(spec) != t.SpecLen() {
+		panic("spharm: spectral length mismatch")
+	}
+	half := t.NLat / 2
+	grid := make([]float64, t.GridLen())
+	for j := 0; j < half; j++ {
+		jn := t.NLat - 1 - j
+		// Accumulate the symmetric and antisymmetric Fourier parts on
+		// the northern row's basis values.
+		hbufS := make([]complex128, t.T+1)
+		hbufA := make([]complex128, t.T+1)
+		for m := 0; m <= t.T; m++ {
+			var sym, anti complex128
+			for n := m; n <= t.T; n++ {
+				p := complex(t.pbar[jn][gauss.PbarIdx(t.T, t.T+1, m, n)], 0)
+				c := spec[t.Idx(m, n)] * p
+				if (n+m)%2 == 0 {
+					sym += c
+				} else {
+					anti += c
+				}
+			}
+			hbufS[m] = sym
+			hbufA[m] = anti
+		}
+		// North row = sym + anti; south row = sym - anti.
+		synthRow(t, grid, jn, hbufS, hbufA, +1)
+		synthRow(t, grid, j, hbufS, hbufA, -1)
+	}
+	return grid
+}
+
+func synthRow(t *Transform, grid []float64, j int, sym, anti []complex128, sign float64) {
+	half := make([]complex128, t.NLon/2+1)
+	for m := 0; m <= t.T; m++ {
+		half[m] = (sym[m] + complex(sign, 0)*anti[m]) * complex(float64(t.NLon), 0)
+	}
+	row := fftpack.RealInverse(half, t.NLon)
+	copy(grid[j*t.NLon:(j+1)*t.NLon], row)
+}

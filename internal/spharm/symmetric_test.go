@@ -1,0 +1,89 @@
+package spharm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestForwardSymMatchesPlain(t *testing.T) {
+	tr := New(10, 16, 32)
+	spec := randomSpec(tr, 21)
+	grid := tr.Inverse(spec)
+	plain := tr.Forward(grid)
+	folded := tr.ForwardSym(grid)
+	for i := range plain {
+		if cmplx.Abs(plain[i]-folded[i]) > 1e-11*(1+cmplx.Abs(plain[i])) {
+			t.Fatalf("folded forward differs at %d: %v vs %v", i, folded[i], plain[i])
+		}
+	}
+}
+
+func TestInverseSymMatchesPlain(t *testing.T) {
+	tr := New(10, 16, 32)
+	spec := randomSpec(tr, 22)
+	plain := tr.Inverse(spec)
+	folded := tr.InverseSym(spec)
+	for i := range plain {
+		if math.Abs(plain[i]-folded[i]) > 1e-10*(1+math.Abs(plain[i])) {
+			t.Fatalf("folded inverse differs at %d: %v vs %v", i, folded[i], plain[i])
+		}
+	}
+}
+
+func TestSymRoundTripT42(t *testing.T) {
+	tr := NewCanonical(42)
+	spec := randomSpec(tr, 23)
+	back := tr.ForwardSym(tr.InverseSym(spec))
+	if d := maxAbsDiffC(spec, back); d > 1e-9 {
+		t.Errorf("folded T42 round trip error %g", d)
+	}
+}
+
+func TestParallelSynthesisBitIdentical(t *testing.T) {
+	tr := New(10, 16, 32)
+	spec := randomSpec(tr, 31)
+	serial := tr.Inverse(spec)
+	tr.HostProcs = 4
+	parallel := tr.Inverse(spec)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel synthesis differs at %d", i)
+		}
+	}
+	tr.HostProcs = 0
+}
+
+func BenchmarkForwardPlain(b *testing.B) {
+	tr := NewCanonical(42)
+	grid := make([]float64, tr.GridLen())
+	for i := range grid {
+		grid[i] = float64(i % 11)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Forward(grid)
+	}
+}
+
+func BenchmarkForwardSym(b *testing.B) {
+	tr := NewCanonical(42)
+	grid := make([]float64, tr.GridLen())
+	for i := range grid {
+		grid[i] = float64(i % 11)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.ForwardSym(grid)
+	}
+}
+
+func TestSymFallsBackOnOddNLat(t *testing.T) {
+	tr := New(8, 13, 25) // odd nlat
+	spec := randomSpec(tr, 24)
+	grid := tr.InverseSym(spec)
+	back := tr.ForwardSym(grid)
+	if d := maxAbsDiffC(spec, back); d > 1e-10 {
+		t.Errorf("odd-nlat fallback round trip error %g", d)
+	}
+}

@@ -1,0 +1,174 @@
+package superux
+
+import (
+	"fmt"
+
+	"sx4bench/internal/sx4/iop"
+	"sx4bench/internal/sx4/xmu"
+)
+
+// SFS models the SUPER-UX native file system's XMU-backed caching
+// layer: a block cache in extended memory in front of the disk array,
+// with a configurable write policy, staging unit (block size) and
+// allocation cluster size — the tunables Section 2.6.5 lists.
+// Individual files can exceed 2 TB; the model tracks service times,
+// not contents.
+type SFS struct {
+	// StagingBytes is the cache block (staging unit) size.
+	StagingBytes int64
+	// ClusterBlocks is the allocation cluster: contiguous blocks
+	// fetched/written together.
+	ClusterBlocks int
+	// WriteBack selects write-back (true) or write-through caching.
+	WriteBack bool
+	// CacheBlocks is the XMU capacity in blocks.
+	CacheBlocks int
+
+	mem  xmu.XMU
+	disk iop.Disk
+
+	// LRU cache of block ids.
+	order []int64
+	index map[int64]int
+	dirty map[int64]bool
+
+	// Statistics.
+	Hits, Misses int64
+	DiskSeconds  float64
+	XMUSeconds   float64
+}
+
+// NewSFS builds a file-system cache over an XMU and a disk array.
+func NewSFS(mem xmu.XMU, disk iop.Disk, stagingBytes int64, cacheBlocks, clusterBlocks int, writeBack bool) *SFS {
+	if stagingBytes <= 0 || cacheBlocks <= 0 || clusterBlocks <= 0 {
+		panic(fmt.Sprintf("superux: bad SFS geometry staging=%d cache=%d cluster=%d",
+			stagingBytes, cacheBlocks, clusterBlocks))
+	}
+	return &SFS{
+		StagingBytes:  stagingBytes,
+		ClusterBlocks: clusterBlocks,
+		WriteBack:     writeBack,
+		CacheBlocks:   cacheBlocks,
+		mem:           mem,
+		disk:          disk,
+		index:         map[int64]int{},
+		dirty:         map[int64]bool{},
+	}
+}
+
+// touch moves a block to the MRU position, inserting it if absent, and
+// returns the seconds spent evicting if the cache overflowed.
+func (s *SFS) touch(block int64, markDirty bool) float64 {
+	var cost float64
+	if pos, ok := s.index[block]; ok {
+		s.order = append(append(s.order[:pos], s.order[pos+1:]...), block)
+		s.reindex(pos)
+	} else {
+		s.order = append(s.order, block)
+		s.index[block] = len(s.order) - 1
+		if len(s.order) > s.CacheBlocks {
+			victim := s.order[0]
+			s.order = s.order[1:]
+			s.reindex(0)
+			delete(s.index, victim)
+			if s.dirty[victim] {
+				cost += s.disk.WriteTime(s.StagingBytes)
+				s.DiskSeconds += s.disk.WriteTime(s.StagingBytes)
+				delete(s.dirty, victim)
+			}
+		}
+	}
+	if markDirty {
+		s.dirty[block] = true
+	}
+	return cost
+}
+
+func (s *SFS) reindex(from int) {
+	for i := from; i < len(s.order); i++ {
+		s.index[s.order[i]] = i
+	}
+}
+
+// Read services a read at the given byte offset/length and returns the
+// service time.
+func (s *SFS) Read(offset, length int64) float64 {
+	var t float64
+	for _, b := range s.blocks(offset, length) {
+		if _, ok := s.index[b]; ok {
+			s.Hits++
+			dt := s.mem.CacheHitTime(s.StagingBytes)
+			s.XMUSeconds += dt
+			t += dt + s.touch(b, false)
+			continue
+		}
+		s.Misses++
+		// Fetch the whole allocation cluster.
+		diskT := s.disk.WriteTime(s.StagingBytes * int64(s.ClusterBlocks))
+		s.DiskSeconds += diskT
+		dt := s.mem.CacheMissTime(s.StagingBytes, diskT)
+		t += dt
+		base := b - b%int64(s.ClusterBlocks)
+		for c := 0; c < s.ClusterBlocks; c++ {
+			t += s.touch(base+int64(c), false)
+		}
+	}
+	return t
+}
+
+// Write services a write and returns the service time; write-back
+// writes land in the XMU and reach disk on eviction (or Flush),
+// write-through pays the disk immediately.
+func (s *SFS) Write(offset, length int64) float64 {
+	var t float64
+	for _, b := range s.blocks(offset, length) {
+		dt := s.mem.CacheHitTime(s.StagingBytes)
+		s.XMUSeconds += dt
+		t += dt + s.touch(b, s.WriteBack)
+		if !s.WriteBack {
+			diskT := s.disk.WriteTime(s.StagingBytes)
+			s.DiskSeconds += diskT
+			t += diskT
+		}
+	}
+	return t
+}
+
+// Flush writes every dirty block to disk and returns the time.
+func (s *SFS) Flush() float64 {
+	var t float64
+	n := 0
+	for b := range s.dirty {
+		_ = b
+		n++
+	}
+	if n > 0 {
+		t = s.disk.WriteRecords(n, s.StagingBytes)
+		s.DiskSeconds += t
+	}
+	s.dirty = map[int64]bool{}
+	return t
+}
+
+// blocks returns the block ids covering [offset, offset+length).
+func (s *SFS) blocks(offset, length int64) []int64 {
+	if length <= 0 {
+		return nil
+	}
+	first := offset / s.StagingBytes
+	last := (offset + length - 1) / s.StagingBytes
+	out := make([]int64, 0, last-first+1)
+	for b := first; b <= last; b++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// HitRate returns the fraction of block accesses served from the XMU.
+func (s *SFS) HitRate() float64 {
+	tot := s.Hits + s.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(tot)
+}

@@ -1,0 +1,95 @@
+package superux
+
+import (
+	"testing"
+
+	"sx4bench/internal/sx4/iop"
+	"sx4bench/internal/sx4/xmu"
+)
+
+func newSFS(writeBack bool) *SFS {
+	return NewSFS(xmu.New(4), iop.NewDisk(), 1<<20, 64, 4, writeBack)
+}
+
+func TestSFSRereadHitsCache(t *testing.T) {
+	s := newSFS(true)
+	cold := s.Read(0, 8<<20)
+	warm := s.Read(0, 8<<20)
+	if warm >= cold/5 {
+		t.Errorf("warm re-read (%v) should be far cheaper than cold (%v)", warm, cold)
+	}
+	if s.HitRate() <= 0.4 {
+		t.Errorf("hit rate %v after re-read, want > 0.4", s.HitRate())
+	}
+}
+
+func TestSFSClusterPrefetch(t *testing.T) {
+	s := newSFS(true)
+	// Reading block 0 pulls the whole 4-block cluster: blocks 1-3 hit.
+	s.Read(0, 1)
+	before := s.Misses
+	s.Read(1<<20, 3<<20) // blocks 1..3
+	if s.Misses != before {
+		t.Errorf("cluster prefetch missed: misses %d -> %d", before, s.Misses)
+	}
+}
+
+func TestWriteBackDefersDisk(t *testing.T) {
+	wb := newSFS(true)
+	wt := newSFS(false)
+	tWB := wb.Write(0, 16<<20)
+	tWT := wt.Write(0, 16<<20)
+	if tWB >= tWT {
+		t.Errorf("write-back (%v) should be cheaper than write-through (%v)", tWB, tWT)
+	}
+	// The deferred work appears at flush time.
+	flush := wb.Flush()
+	if flush <= 0 {
+		t.Error("write-back flush wrote nothing")
+	}
+	if wb.Flush() != 0 {
+		t.Error("second flush should be free")
+	}
+}
+
+func TestEvictionWritesDirtyBlocks(t *testing.T) {
+	s := NewSFS(xmu.New(4), iop.NewDisk(), 1<<20, 4, 1, true) // tiny cache
+	s.Write(0, 4<<20)                                         // fill with dirty blocks
+	before := s.DiskSeconds
+	s.Read(100<<20, 8<<20) // force evictions
+	if s.DiskSeconds <= before {
+		t.Error("evicting dirty blocks should cost disk time")
+	}
+}
+
+func TestSFSLRUOrder(t *testing.T) {
+	s := NewSFS(xmu.New(4), iop.NewDisk(), 1<<20, 2, 1, false)
+	s.Read(0, 1)     // block 0
+	s.Read(1<<20, 1) // block 1
+	s.Read(0, 1)     // touch 0: now MRU
+	s.Read(5<<20, 1) // block 5 evicts block 1 (LRU)
+	before := s.Hits
+	s.Read(0, 1) // block 0 must still be cached
+	if s.Hits != before+1 {
+		t.Error("LRU evicted the recently used block")
+	}
+}
+
+func TestSFSGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad SFS geometry accepted")
+		}
+	}()
+	NewSFS(xmu.New(4), iop.NewDisk(), 0, 1, 1, true)
+}
+
+func TestSFSZeroLength(t *testing.T) {
+	s := newSFS(true)
+	if s.Read(0, 0) != 0 || s.Write(0, 0) != 0 {
+		t.Error("zero-length I/O should be free")
+	}
+	if s.HitRate() != 0 {
+		t.Error("hit rate with no accesses should be 0")
+	}
+}

@@ -1,0 +1,381 @@
+// Package superux models the SUPER-UX operating-system features the
+// benchmark exercises: Resource Blocking (logical scheduling groups
+// with processor and memory limits mapped onto the SX-4 CPUs), the NQS
+// batch subsystem (queues, job submission, qcat), and
+// checkpoint/restart of batch work — all over a deterministic
+// virtual-time event simulation, which is what the PRODLOAD benchmark
+// runs on.
+package superux
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Policy selects a resource block's scheduling style.
+type Policy int
+
+const (
+	// FIFO runs jobs strictly in submission order ("static parallel
+	// processing scheduling using a FIFO scheme").
+	FIFO Policy = iota
+	// Interactive admits jobs in any order that fits (favoring small
+	// jobs), the behaviour of a block reserved for interactive work.
+	Interactive
+)
+
+func (p Policy) String() string {
+	if p == FIFO {
+		return "FIFO"
+	}
+	return "interactive"
+}
+
+// ResourceBlock is a logical scheduling group mapped onto part of the
+// node.
+type ResourceBlock struct {
+	Name    string
+	MinCPUs int
+	MaxCPUs int
+	MemGB   float64
+	Policy  Policy
+
+	usedCPUs int
+	usedMem  float64
+}
+
+// JobState tracks a job through the queue.
+type JobState int
+
+const (
+	Queued JobState = iota
+	Running
+	Done
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Job is one NQS batch request.
+type Job struct {
+	ID       int
+	Name     string
+	Block    string // resource block name
+	CPUs     int
+	MemGB    float64
+	Seconds  float64 // execution time once started
+	Priority int
+
+	State    JobState
+	SubmitAt float64
+	StartAt  float64
+	FinishAt float64
+	Output   string // stdout produced so far (qcat reads this)
+}
+
+// Complex is an NQS queue complex: a group of resource blocks sharing
+// a global limit on concurrently running jobs (Section 2.6.3 mentions
+// "NQS queues, queue complexes, and the full range of individual queue
+// parameters").
+type Complex struct {
+	Name     string
+	Blocks   []string
+	RunLimit int
+}
+
+// System is the simulated SUPER-UX instance.
+type System struct {
+	Blocks    map[string]*ResourceBlock
+	Complexes map[string]Complex
+	Jobs      map[int]*Job
+
+	Clock  float64
+	nextID int
+	queue  []int // queued job IDs in priority+submission order
+	active []int
+}
+
+// NewSystem builds a system with the given resource blocks. Block
+// names must be unique and CPU limits positive.
+func NewSystem(blocks ...ResourceBlock) *System {
+	s := &System{
+		Blocks:    map[string]*ResourceBlock{},
+		Complexes: map[string]Complex{},
+		Jobs:      map[int]*Job{},
+	}
+	for _, b := range blocks {
+		if b.MaxCPUs <= 0 || b.MinCPUs < 0 || b.MinCPUs > b.MaxCPUs {
+			panic(fmt.Sprintf("superux: bad CPU limits in block %q", b.Name))
+		}
+		if _, dup := s.Blocks[b.Name]; dup {
+			panic(fmt.Sprintf("superux: duplicate block %q", b.Name))
+		}
+		rb := b
+		s.Blocks[b.Name] = &rb
+	}
+	return s
+}
+
+// Submit enqueues a job and returns its ID.
+func (s *System) Submit(j Job) int {
+	blk, ok := s.Blocks[j.Block]
+	if !ok {
+		panic(fmt.Sprintf("superux: unknown resource block %q", j.Block))
+	}
+	if j.CPUs <= 0 || j.CPUs > blk.MaxCPUs {
+		panic(fmt.Sprintf("superux: job %q requests %d CPUs; block %q allows up to %d",
+			j.Name, j.CPUs, j.Block, blk.MaxCPUs))
+	}
+	if j.MemGB > blk.MemGB {
+		panic(fmt.Sprintf("superux: job %q exceeds block memory", j.Name))
+	}
+	s.nextID++
+	j.ID = s.nextID
+	j.State = Queued
+	j.SubmitAt = s.Clock
+	s.Jobs[j.ID] = &j
+	s.queue = append(s.queue, j.ID)
+	s.sortQueue()
+	s.dispatch()
+	return j.ID
+}
+
+func (s *System) sortQueue() {
+	sort.SliceStable(s.queue, func(a, b int) bool {
+		ja, jb := s.Jobs[s.queue[a]], s.Jobs[s.queue[b]]
+		if ja.Priority != jb.Priority {
+			return ja.Priority > jb.Priority
+		}
+		return ja.ID < jb.ID
+	})
+}
+
+// AddComplex registers a queue complex. Member blocks must exist and
+// the run limit must be positive.
+func (s *System) AddComplex(c Complex) {
+	if c.RunLimit <= 0 {
+		panic(fmt.Sprintf("superux: complex %q needs a positive run limit", c.Name))
+	}
+	for _, b := range c.Blocks {
+		if _, ok := s.Blocks[b]; !ok {
+			panic(fmt.Sprintf("superux: complex %q references unknown block %q", c.Name, b))
+		}
+	}
+	s.Complexes[c.Name] = c
+}
+
+// complexAllows reports whether starting one more job in block would
+// stay inside every complex limit covering that block.
+func (s *System) complexAllows(block string) bool {
+	for _, c := range s.Complexes {
+		member := false
+		for _, b := range c.Blocks {
+			if b == block {
+				member = true
+				break
+			}
+		}
+		if !member {
+			continue
+		}
+		running := 0
+		for _, id := range s.active {
+			j := s.Jobs[id]
+			for _, b := range c.Blocks {
+				if j.Block == b {
+					running++
+					break
+				}
+			}
+		}
+		if running >= c.RunLimit {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatch starts every queued job that fits its block's free capacity,
+// respecting each block's policy and every complex run limit.
+func (s *System) dispatch() {
+	blocked := map[string]bool{} // FIFO blocks stalled by their head job
+	remaining := s.queue[:0]
+	for _, id := range s.queue {
+		j := s.Jobs[id]
+		blk := s.Blocks[j.Block]
+		fits := blk.usedCPUs+j.CPUs <= blk.MaxCPUs && blk.usedMem+j.MemGB <= blk.MemGB &&
+			s.complexAllows(j.Block)
+		if blocked[j.Block] || !fits {
+			if blk.Policy == FIFO {
+				blocked[j.Block] = true // preserve order: later jobs wait
+			}
+			remaining = append(remaining, id)
+			continue
+		}
+		blk.usedCPUs += j.CPUs
+		blk.usedMem += j.MemGB
+		j.State = Running
+		j.StartAt = s.Clock
+		j.FinishAt = s.Clock + j.Seconds
+		j.Output = fmt.Sprintf("job %d (%s) started at %.2f\n", j.ID, j.Name, j.StartAt)
+		s.active = append(s.active, id)
+	}
+	s.queue = append([]int(nil), remaining...)
+}
+
+// Advance runs the event loop until no job is running or queued,
+// returning the completion (virtual) time. Jobs submitted before the
+// call are processed; the simulation is deterministic.
+func (s *System) Advance() float64 {
+	for len(s.active) > 0 {
+		// Next completion event.
+		next := -1
+		for _, id := range s.active {
+			if next == -1 || s.Jobs[id].FinishAt < s.Jobs[next].FinishAt ||
+				(s.Jobs[id].FinishAt == s.Jobs[next].FinishAt && id < next) {
+				next = id
+			}
+		}
+		j := s.Jobs[next]
+		s.Clock = j.FinishAt
+		j.State = Done
+		j.Output += fmt.Sprintf("job %d (%s) finished at %.2f\n", j.ID, j.Name, j.FinishAt)
+		blk := s.Blocks[j.Block]
+		blk.usedCPUs -= j.CPUs
+		blk.usedMem -= j.MemGB
+		// Remove from active.
+		for i, id := range s.active {
+			if id == next {
+				s.active = append(s.active[:i], s.active[i+1:]...)
+				break
+			}
+		}
+		s.dispatch()
+	}
+	return s.Clock
+}
+
+// QCat returns the stdout produced so far by a job — the SUPER-UX NQS
+// qcat command, which can inspect an executing batch script's output.
+func (s *System) QCat(id int) (string, error) {
+	j, ok := s.Jobs[id]
+	if !ok {
+		return "", fmt.Errorf("superux: no job %d", id)
+	}
+	return j.Output, nil
+}
+
+// Status returns a job's state.
+func (s *System) Status(id int) (JobState, error) {
+	j, ok := s.Jobs[id]
+	if !ok {
+		return 0, fmt.Errorf("superux: no job %d", id)
+	}
+	return j.State, nil
+}
+
+// Makespan returns the latest finish time among completed jobs.
+func (s *System) Makespan() float64 {
+	best := 0.0
+	for _, j := range s.Jobs {
+		if j.State == Done && j.FinishAt > best {
+			best = j.FinishAt
+		}
+	}
+	return best
+}
+
+// --- checkpoint / restart ---
+
+// snapshot is the serializable scheduler state.
+type snapshot struct {
+	Blocks    map[string]ResourceBlock
+	Complexes map[string]Complex
+	Jobs      map[int]Job
+	Clock     float64
+	NextID    int
+	Queue     []int
+	Active    []int
+}
+
+// Checkpoint serializes the full system state; no special programming
+// is required of the jobs.
+func (s *System) Checkpoint() ([]byte, error) {
+	snap := snapshot{
+		Blocks:    map[string]ResourceBlock{},
+		Complexes: map[string]Complex{},
+		Jobs:      map[int]Job{},
+		Clock:     s.Clock,
+		NextID:    s.nextID,
+		Queue:     append([]int(nil), s.queue...),
+		Active:    append([]int(nil), s.active...),
+	}
+	for name, c := range s.Complexes {
+		snap.Complexes[name] = c
+	}
+	for name, b := range s.Blocks {
+		sb := *b
+		sb.usedCPUs = b.usedCPUs
+		sb.usedMem = b.usedMem
+		snap.Blocks[name] = sb
+	}
+	for id, j := range s.Jobs {
+		snap.Jobs[id] = *j
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return nil, fmt.Errorf("superux: checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restart reconstructs a system from a checkpoint.
+func Restart(data []byte) (*System, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("superux: restart: %w", err)
+	}
+	s := &System{
+		Blocks:    map[string]*ResourceBlock{},
+		Complexes: map[string]Complex{},
+		Jobs:      map[int]*Job{},
+		Clock:     snap.Clock,
+		nextID:    snap.NextID,
+		queue:     snap.Queue,
+		active:    snap.Active,
+	}
+	for name, c := range snap.Complexes {
+		s.Complexes[name] = c
+	}
+	for name, b := range snap.Blocks {
+		rb := b
+		s.Blocks[name] = &rb
+	}
+	for id, j := range snap.Jobs {
+		jj := j
+		s.Jobs[id] = &jj
+	}
+	// Recompute block usage from running jobs (usage fields are
+	// unexported and not serialized).
+	for _, b := range s.Blocks {
+		b.usedCPUs, b.usedMem = 0, 0
+	}
+	for _, id := range s.active {
+		j := s.Jobs[id]
+		blk := s.Blocks[j.Block]
+		blk.usedCPUs += j.CPUs
+		blk.usedMem += j.MemGB
+	}
+	return s, nil
+}

@@ -1,0 +1,179 @@
+// Package commreg implements the SX-4's communications registers: a set
+// of hardware registers with atomic test-set, store-add, store-and, and
+// store-or instructions, optimized for synchronization of parallel
+// tasks. Each processor has a dedicated set, plus one per chassis for
+// the operating system; the IXS carries global internode registers.
+//
+// This package provides both a functional implementation (used by the
+// host-parallel execution paths of the numerical models and by the
+// SUPER-UX scheduler model) and the timing constants the machine model
+// charges for barrier and reduction operations.
+package commreg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Set is a bank of 64-bit communications registers.
+type Set struct {
+	regs []atomic.Uint64
+}
+
+// NewSet returns a register set with n registers, all zero.
+func NewSet(n int) *Set {
+	if n <= 0 {
+		panic(fmt.Sprintf("commreg: non-positive set size %d", n))
+	}
+	return &Set{regs: make([]atomic.Uint64, n)}
+}
+
+// Len returns the number of registers in the set.
+func (s *Set) Len() int { return len(s.regs) }
+
+// Load returns the current value of register i.
+func (s *Set) Load(i int) uint64 { return s.regs[i].Load() }
+
+// Store sets register i to v.
+func (s *Set) Store(i int, v uint64) { s.regs[i].Store(v) }
+
+// TestSet atomically sets the low bit of register i and reports the
+// previous value of that bit: the classic acquire primitive.
+func (s *Set) TestSet(i int) bool {
+	for {
+		old := s.regs[i].Load()
+		if old&1 != 0 {
+			return true
+		}
+		if s.regs[i].CompareAndSwap(old, old|1) {
+			return false
+		}
+	}
+}
+
+// Clear resets register i to zero (releases a TestSet lock).
+func (s *Set) Clear(i int) { s.regs[i].Store(0) }
+
+// StoreAdd atomically adds v to register i and returns the new value.
+func (s *Set) StoreAdd(i int, v uint64) uint64 { return s.regs[i].Add(v) }
+
+// StoreAnd atomically ANDs v into register i and returns the new value.
+func (s *Set) StoreAnd(i int, v uint64) uint64 { return s.regs[i].And(v) & v }
+
+// StoreOr atomically ORs v into register i and returns the new value.
+func (s *Set) StoreOr(i int, v uint64) uint64 { return s.regs[i].Or(v) | v }
+
+// Barrier is a reusable sense-reversing barrier built from a
+// communications register, as parallel runtimes on the SX-4 built
+// theirs from store-add.
+type Barrier struct {
+	parties int
+	count   atomic.Int64
+	sense   atomic.Uint64
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("commreg: non-positive barrier parties %d", parties))
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties returns the number of participants.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks until all parties have called Wait for this generation.
+func (b *Barrier) Wait() {
+	gen := b.sense.Load()
+	if b.count.Add(1) == int64(b.parties) {
+		b.count.Store(0)
+		b.mu.Lock()
+		b.sense.Add(1)
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Lock()
+	for b.sense.Load() == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Reducer accumulates a float64 sum across parties using a spin lock
+// built on TestSet, mirroring store-add based reduction trees.
+type Reducer struct {
+	set  *Set
+	mu   sync.Mutex
+	sum  float64
+	hits int
+}
+
+// NewReducer returns an empty reduction cell.
+func NewReducer() *Reducer { return &Reducer{set: NewSet(1)} }
+
+// Add contributes v to the reduction.
+func (r *Reducer) Add(v float64) {
+	r.mu.Lock()
+	r.sum += v
+	r.hits++
+	r.mu.Unlock()
+}
+
+// Sum returns the accumulated value and the number of contributions.
+func (r *Reducer) Sum() (float64, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sum, r.hits
+}
+
+// Reset zeroes the reduction.
+func (r *Reducer) Reset() {
+	r.mu.Lock()
+	r.sum, r.hits = 0, 0
+	r.mu.Unlock()
+}
+
+// ParallelFor executes f(i) for i in [0, n) across p goroutines with a
+// static block distribution — the shape of a microtasked vector loop on
+// the SX-4. It blocks until all iterations complete.
+func ParallelFor(p, n int, f func(i int)) {
+	if p <= 0 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + p - 1) / p
+	for w := 0; w < p; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,195 @@
+package commreg
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(8)
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	s.Store(3, 42)
+	if got := s.Load(3); got != 42 {
+		t.Errorf("Load(3) = %d, want 42", got)
+	}
+}
+
+func TestNewSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSet(0) did not panic")
+		}
+	}()
+	NewSet(0)
+}
+
+func TestTestSet(t *testing.T) {
+	s := NewSet(1)
+	if s.TestSet(0) {
+		t.Error("first TestSet returned true (already set)")
+	}
+	if !s.TestSet(0) {
+		t.Error("second TestSet returned false")
+	}
+	s.Clear(0)
+	if s.TestSet(0) {
+		t.Error("TestSet after Clear returned true")
+	}
+}
+
+func TestTestSetMutualExclusion(t *testing.T) {
+	s := NewSet(1)
+	const workers = 16
+	const iters = 200
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for s.TestSet(0) {
+				}
+				counter++
+				s.Clear(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Errorf("counter = %d, want %d (lock not exclusive)", counter, workers*iters)
+	}
+}
+
+func TestStoreAddConcurrent(t *testing.T) {
+	s := NewSet(1)
+	const workers = 32
+	const each = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.StoreAdd(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Load(0); got != workers*each {
+		t.Errorf("StoreAdd total = %d, want %d", got, workers*each)
+	}
+}
+
+func TestStoreAndOr(t *testing.T) {
+	s := NewSet(1)
+	s.Store(0, 0b1100)
+	s.StoreOr(0, 0b0011)
+	if got := s.Load(0); got != 0b1111 {
+		t.Errorf("after StoreOr: %b, want 1111", got)
+	}
+	s.StoreAnd(0, 0b1010)
+	if got := s.Load(0); got != 0b1010 {
+		t.Errorf("after StoreAnd: %b, want 1010", got)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const parties = 8
+	b := NewBarrier(parties)
+	if b.Parties() != parties {
+		t.Fatalf("Parties = %d", b.Parties())
+	}
+	var phase [parties]int
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				phase[p] = round
+				b.Wait()
+				// After the barrier every party must have reached
+				// this round.
+				for q := 0; q < parties; q++ {
+					if phase[q] < round {
+						t.Errorf("party %d at phase %d < round %d", q, phase[q], round)
+						return
+					}
+				}
+				b.Wait()
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Wait() // must not deadlock
+	}
+}
+
+func TestNewBarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestReducer(t *testing.T) {
+	r := NewReducer()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	sum, hits := r.Sum()
+	if hits != 1600 {
+		t.Errorf("hits = %d, want 1600", hits)
+	}
+	if sum != 800 {
+		t.Errorf("sum = %v, want 800", sum)
+	}
+	r.Reset()
+	if sum, hits := r.Sum(); sum != 0 || hits != 0 {
+		t.Errorf("after Reset: %v, %d", sum, hits)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, p := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		seen := make([]int32, n)
+		var mu sync.Mutex
+		ParallelFor(p, n, func(i int) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Errorf("p=%d: index %d visited %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	called := false
+	ParallelFor(4, 0, func(int) { called = true })
+	if called {
+		t.Error("ParallelFor(_, 0) called f")
+	}
+}

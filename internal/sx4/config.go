@@ -1,0 +1,240 @@
+// Package sx4 models the NEC SX-4 parallel vector supercomputer as
+// described in Hammond, Loft & Tannenbaum, "Architecture and
+// Application: The Performance of the NEC SX-4 on the NCAR Benchmark
+// Suite" (SC'96).
+//
+// The package provides a calibrated analytic performance model: programs
+// are expressed as operation traces (package prog) and executed by a
+// Machine, which accounts for vector pipeline throughput, vector startup,
+// memory-bank conflicts, per-CPU port limits, node-level memory
+// contention, and synchronization cost. The model is not cycle-exact; it
+// reproduces the performance *shape* the paper measures (long- versus
+// short-vector behaviour, stride and gather penalties, multiprocessor
+// scaling and interference).
+package sx4
+
+import "fmt"
+
+// Config describes one SX-4 system configuration. The zero value is not
+// usable; construct configurations with NewConfig, Benchmarked, or
+// Production.
+type Config struct {
+	// Name is a human-readable model designation, e.g. "SX-4/32".
+	Name string
+
+	// ClockNS is the machine cycle time in nanoseconds. The paper
+	// benchmarks a 9.2 ns system; the production clock is 8.0 ns.
+	ClockNS float64
+
+	// CPUs is the number of processors in one node (1..32).
+	CPUs int
+
+	// Nodes is the number of nodes connected by the IXS (1..16).
+	Nodes int
+
+	// VectorPipes is the number of parallel pipes in each functional
+	// pipe set (add/shift, multiply, divide, logical). The SX-4 has 8.
+	VectorPipes int
+
+	// VectorRegElems is the strip length of one vector instruction:
+	// 8 VPP chips x 32 elements = 256.
+	VectorRegElems int
+
+	// MemoryBanks is the number of independent SSRAM banks per node
+	// (up to 1024).
+	MemoryBanks int
+
+	// BankBusyClocks is the bank cycle (busy) time in clocks (2).
+	BankBusyClocks int
+
+	// PortWordsPerClock is the per-CPU crossbar port width in 64-bit
+	// words per clock; 16 words/clock x 8 B x 125 MHz = 16 GB/s.
+	PortWordsPerClock int
+
+	// NodeWordsPerClock is the per-node sustainable memory system
+	// bandwidth in words/clock (512 GB/s at 8 ns = 512 words/clock).
+	NodeWordsPerClock int
+
+	// VectorStartupClocks is the pipeline fill + issue overhead charged
+	// per vector instruction for arithmetic pipes.
+	VectorStartupClocks int
+
+	// MemStartupClocks is the startup overhead per vector memory
+	// instruction (address generation + crossbar + bank latency).
+	MemStartupClocks int
+
+	// GatherWordsPerClock is the sustainable list-vector (gather/
+	// scatter) element rate in words per clock; indirect access does
+	// not stream at full port rate.
+	GatherWordsPerClock float64
+
+	// StridedPenalty is the minimum slowdown of non-unit, non-stride-2
+	// vector memory streams (see membank.System.StridedPenalty).
+	StridedPenalty float64
+
+	// IntrinsicScale multiplies the DefaultIntrinsicClocks table, for
+	// modeling machines whose vector math library is slower or faster
+	// relative to their pipes than the SX-4's. Zero means 1.
+	IntrinsicScale float64
+
+	// ScalarIssuePerClock is the superscalar issue width (2).
+	ScalarIssuePerClock int
+
+	// LoopOverheadClocks is the scalar loop-control overhead charged
+	// per innermost-loop trip of a vectorized loop nest.
+	LoopOverheadClocks float64
+
+	// BarrierBaseClocks and BarrierPerCPUClocks give the cost of a
+	// communication-register barrier among p CPUs:
+	// BarrierBaseClocks + p*BarrierPerCPUClocks.
+	BarrierBaseClocks   float64
+	BarrierPerCPUClocks float64
+
+	// InterferenceFrac is the fractional slowdown of memory traffic
+	// when all CPUs of a node are busy, from residual bank conflicts
+	// between independent streams. Calibrated so the CCM2 ensemble
+	// test degrades by ~1.9% (Table 6).
+	InterferenceFrac float64
+
+	// MainMemoryGB and XMUGB are the main and extended memory
+	// capacities per node.
+	MainMemoryGB float64
+	XMUGB        float64
+
+	// XMUWordsPerClock is XMU bandwidth in words/clock (16 GB/s at
+	// 8 ns = 16 words/clock, shared by the node).
+	XMUWordsPerClock int
+
+	// IOPs is the number of I/O processors; each has 1.6 GB/s.
+	IOPs             int
+	IOPBytesPerSec   float64
+	HIPPIBytesPerSec float64 // per HIPPI channel (~100 MB/s each way)
+
+	// DiskCapacityGB and DiskBytesPerSec describe the attached
+	// conventional (not solid-state) disk subsystem.
+	DiskCapacityGB  float64
+	DiskBytesPerSec float64
+
+	// IXSBytesPerSecPerNode is the per-node IXS channel bandwidth
+	// (8 GB/s in + 8 GB/s out); IXSBisectionBytesPerSec is the
+	// crossbar total (128 GB/s for 16 nodes).
+	IXSBytesPerSecPerNode   float64
+	IXSBisectionBytesPerSec float64
+	IXSLatencyNS            float64
+
+	// PowerKVA is the chassis power requirement (123 KVA for an
+	// SX-4/32, versus >400 KVA for a 16-CPU ECL C90).
+	PowerKVA float64
+}
+
+// NewConfig returns an SX-4 configuration with cpus processors per node
+// and the given number of nodes, using the production 8.0 ns clock.
+func NewConfig(cpus, nodes int) Config {
+	if cpus < 1 || cpus > 32 {
+		panic(fmt.Sprintf("sx4: cpus must be in [1,32], got %d", cpus))
+	}
+	if nodes < 1 || nodes > 16 {
+		panic(fmt.Sprintf("sx4: nodes must be in [1,16], got %d", nodes))
+	}
+	name := fmt.Sprintf("SX-4/%d", cpus*nodes)
+	if nodes > 1 {
+		name = fmt.Sprintf("SX-4/%dM%d", cpus*nodes, nodes)
+	}
+	return Config{
+		Name:                    name,
+		ClockNS:                 8.0,
+		CPUs:                    cpus,
+		Nodes:                   nodes,
+		VectorPipes:             8,
+		VectorRegElems:          256,
+		MemoryBanks:             1024,
+		BankBusyClocks:          2,
+		PortWordsPerClock:       16,
+		NodeWordsPerClock:       512,
+		VectorStartupClocks:     24,
+		MemStartupClocks:        48,
+		GatherWordsPerClock:     2.0,
+		StridedPenalty:          2.5,
+		ScalarIssuePerClock:     2,
+		LoopOverheadClocks:      10,
+		BarrierBaseClocks:       80,
+		BarrierPerCPUClocks:     12,
+		InterferenceFrac:        0.019,
+		MainMemoryGB:            8,
+		XMUGB:                   4,
+		XMUWordsPerClock:        16,
+		IOPs:                    4,
+		IOPBytesPerSec:          1.6e9,
+		HIPPIBytesPerSec:        95e6,
+		DiskCapacityGB:          282,
+		DiskBytesPerSec:         60e6,
+		IXSBytesPerSecPerNode:   8e9,
+		IXSBisectionBytesPerSec: 128e9,
+		IXSLatencyNS:            2000,
+		PowerKVA:                122.8,
+	}
+}
+
+// Benchmarked returns the configuration of the system measured in the
+// paper (February 1996): an SX-4/32 with a 9.2 ns clock, 8 GB of main
+// memory, and a 4 GB XMU (Table 2).
+func Benchmarked() Config {
+	c := NewConfig(32, 1)
+	c.ClockNS = 9.2
+	return c
+}
+
+// BenchmarkedSingleCPU returns a single processor of the benchmarked
+// system, used for the SX-4/1 kernel results (Figures 5-7, Table 3).
+func BenchmarkedSingleCPU() Config {
+	c := Benchmarked()
+	// Kernel benchmarks ran on one CPU of the 32-CPU node.
+	return c
+}
+
+// ClockHz returns the clock frequency in Hertz.
+func (c Config) ClockHz() float64 { return 1e9 / c.ClockNS }
+
+// PeakFlopsPerCPU returns the peak floating-point rate of one processor
+// in flops/s: concurrent add and multiply pipe sets, 8 pipes each.
+func (c Config) PeakFlopsPerCPU() float64 {
+	return float64(2*c.VectorPipes) * c.ClockHz()
+}
+
+// PeakFlops returns the peak rate of the whole configuration.
+func (c Config) PeakFlops() float64 {
+	return c.PeakFlopsPerCPU() * float64(c.CPUs*c.Nodes)
+}
+
+// PortBytesPerSec returns the per-CPU memory port bandwidth in bytes/s.
+func (c Config) PortBytesPerSec() float64 {
+	return float64(c.PortWordsPerClock*8) * c.ClockHz()
+}
+
+// NodeMemoryBytesPerSec returns the per-node sustainable memory
+// bandwidth in bytes/s (512 GB/s for a 32-CPU node at 8 ns).
+func (c Config) NodeMemoryBytesPerSec() float64 {
+	return float64(c.NodeWordsPerClock*8) * c.ClockHz()
+}
+
+// TotalCPUs returns the number of processors across all nodes.
+func (c Config) TotalCPUs() int { return c.CPUs * c.Nodes }
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.ClockNS <= 0:
+		return fmt.Errorf("sx4: non-positive clock %v", c.ClockNS)
+	case c.CPUs < 1 || c.CPUs > 32:
+		return fmt.Errorf("sx4: cpus %d out of range [1,32]", c.CPUs)
+	case c.Nodes < 1 || c.Nodes > 16:
+		return fmt.Errorf("sx4: nodes %d out of range [1,16]", c.Nodes)
+	case c.VectorPipes <= 0 || c.VectorRegElems <= 0:
+		return fmt.Errorf("sx4: invalid vector unit geometry")
+	case c.MemoryBanks <= 0 || c.BankBusyClocks <= 0:
+		return fmt.Errorf("sx4: invalid memory system")
+	case c.PortWordsPerClock <= 0 || c.NodeWordsPerClock <= 0:
+		return fmt.Errorf("sx4: invalid bandwidth limits")
+	}
+	return nil
+}

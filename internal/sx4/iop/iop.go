@@ -1,0 +1,138 @@
+// Package iop models the SX-4 input-output subsystem: up to four I/O
+// processors per node, each with 1.6 GB/s of bandwidth, operating
+// asynchronously from the CPUs; HIPPI channels as the high-performance
+// interconnect to the NCAR Mass Storage System; fast-wide SCSI-2 disk
+// arrays; and the IOX multiplexer for slower channel types.
+package iop
+
+import (
+	"fmt"
+	"math"
+)
+
+// HIPPI channel characteristics: 800 Mbit/s links with per-packet
+// protocol overhead.
+type HIPPI struct {
+	BytesPerSec       float64 // sustained payload rate of one channel
+	LatencySec        float64 // per-transfer setup (connection) time
+	PacketOverheadSec float64 // per-packet processing time
+	MaxPacketBytes    int
+}
+
+// NewHIPPI returns the NCAR-configuration HIPPI channel model.
+func NewHIPPI() HIPPI {
+	return HIPPI{
+		BytesPerSec:       95e6,
+		LatencySec:        500e-6,
+		PacketOverheadSec: 30e-6,
+		MaxPacketBytes:    64 << 10,
+	}
+}
+
+// TransferTime returns the time to move bytes using the given packet
+// size (clamped to the channel maximum).
+func (h HIPPI) TransferTime(bytes int64, packetBytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if packetBytes <= 0 || packetBytes > h.MaxPacketBytes {
+		packetBytes = h.MaxPacketBytes
+	}
+	packets := math.Ceil(float64(bytes) / float64(packetBytes))
+	return h.LatencySec + packets*h.PacketOverheadSec + float64(bytes)/h.BytesPerSec
+}
+
+// Throughput returns the effective rate in bytes/s for a transfer.
+func (h HIPPI) Throughput(bytes int64, packetBytes int) float64 {
+	t := h.TransferTime(bytes, packetBytes)
+	if t <= 0 {
+		return 0
+	}
+	return float64(bytes) / t
+}
+
+// Disk models the attached conventional disk subsystem (not the XMU).
+type Disk struct {
+	BytesPerSec float64
+	SeekSec     float64
+	CapacityGB  float64
+}
+
+// NewDisk returns the benchmarked system's disk model (282 GB).
+func NewDisk() Disk {
+	return Disk{BytesPerSec: 60e6, SeekSec: 12e-3, CapacityGB: 282}
+}
+
+// WriteTime returns the time to write one contiguous record.
+func (d Disk) WriteTime(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.SeekSec + float64(bytes)/d.BytesPerSec
+}
+
+// WriteRecords returns the time to write n records of recBytes each to
+// a direct-access file; sequential records amortize seeks.
+func (d Disk) WriteRecords(n int, recBytes int64) float64 {
+	if n <= 0 || recBytes <= 0 {
+		return 0
+	}
+	// One initial seek, then streaming with occasional reposition.
+	seeks := 1 + n/64
+	return float64(seeks)*d.SeekSec + float64(n)*float64(recBytes)/d.BytesPerSec
+}
+
+// Subsystem is one node's I/O complex.
+type Subsystem struct {
+	IOPs           int
+	IOPBytesPerSec float64
+	HIPPIChannels  int
+	Channel        HIPPI
+	DiskArray      Disk
+}
+
+// New returns the benchmarked node's subsystem: 4 IOPs, 2 HIPPI
+// channels, one disk array.
+func New() Subsystem {
+	return Subsystem{
+		IOPs:           4,
+		IOPBytesPerSec: 1.6e9,
+		HIPPIChannels:  2,
+		Channel:        NewHIPPI(),
+		DiskArray:      NewDisk(),
+	}
+}
+
+// AggregateBandwidth returns the subsystem's total IOP bandwidth.
+func (s Subsystem) AggregateBandwidth() float64 {
+	return float64(s.IOPs) * s.IOPBytesPerSec
+}
+
+// ConcurrentHIPPI returns the per-transfer and aggregate throughput of
+// n concurrent HIPPI transfers of the given size: transfers share the
+// available channels, and the IOPs never bottleneck HIPPI-rate traffic.
+func (s Subsystem) ConcurrentHIPPI(n int, bytes int64, packetBytes int) (perTransfer, aggregate float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	single := s.Channel.Throughput(bytes, packetBytes)
+	channels := s.HIPPIChannels
+	if n < channels {
+		channels = n
+	}
+	aggregate = single * float64(channels)
+	// Transfers beyond the channel count time-share.
+	perTransfer = aggregate / float64(n)
+	return perTransfer, aggregate
+}
+
+// Validate reports configuration errors.
+func (s Subsystem) Validate() error {
+	if s.IOPs < 1 || s.IOPs > 4 {
+		return fmt.Errorf("iop: IOP count %d out of range [1,4]", s.IOPs)
+	}
+	if s.IOPBytesPerSec <= 0 || s.HIPPIChannels < 1 {
+		return fmt.Errorf("iop: invalid subsystem %+v", s)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package iop
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHIPPIThroughputGrowsWithPacketSize(t *testing.T) {
+	h := NewHIPPI()
+	bytes := int64(64 << 20)
+	prev := 0.0
+	for _, pkt := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10} {
+		tp := h.Throughput(bytes, pkt)
+		if tp <= prev {
+			t.Errorf("throughput not increasing at packet %d: %v <= %v", pkt, tp, prev)
+		}
+		prev = tp
+	}
+}
+
+func TestHIPPIApproachesLinkRate(t *testing.T) {
+	h := NewHIPPI()
+	tp := h.Throughput(1<<30, 64<<10)
+	if tp < 0.8*h.BytesPerSec || tp > h.BytesPerSec {
+		t.Errorf("large-transfer throughput %v, want near link rate %v", tp, h.BytesPerSec)
+	}
+}
+
+func TestHIPPISmallTransfersLatencyBound(t *testing.T) {
+	h := NewHIPPI()
+	tp := h.Throughput(1<<10, 1<<10)
+	if tp > 0.1*h.BytesPerSec {
+		t.Errorf("1KB transfer at %v B/s; latency should dominate", tp)
+	}
+}
+
+func TestHIPPIPacketClamp(t *testing.T) {
+	h := NewHIPPI()
+	a := h.TransferTime(1<<20, 0)
+	b := h.TransferTime(1<<20, h.MaxPacketBytes)
+	if a != b {
+		t.Errorf("packet size 0 should clamp to max: %v vs %v", a, b)
+	}
+	if h.TransferTime(0, 1024) != 0 {
+		t.Error("zero-byte transfer should cost nothing")
+	}
+}
+
+func TestDiskWrite(t *testing.T) {
+	d := NewDisk()
+	small := d.WriteTime(1 << 10)
+	if small < d.SeekSec {
+		t.Errorf("small write %v below seek time", small)
+	}
+	big := d.WriteTime(600e6)
+	if big < 9 || big > 12 {
+		t.Errorf("600 MB write = %v s at 60 MB/s, want ~10", big)
+	}
+}
+
+func TestDiskRecordsAmortizeSeeks(t *testing.T) {
+	d := NewDisk()
+	n, rec := 512, int64(1<<20)
+	batched := d.WriteRecords(n, rec)
+	individual := 0.0
+	for i := 0; i < n; i++ {
+		individual += d.WriteTime(rec)
+	}
+	if batched >= individual {
+		t.Errorf("batched records (%v) should beat individual writes (%v)", batched, individual)
+	}
+}
+
+func TestSubsystem(t *testing.T) {
+	s := New()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AggregateBandwidth(); math.Abs(got-6.4e9) > 1e6 {
+		t.Errorf("aggregate IOP bandwidth = %v, want 6.4 GB/s", got)
+	}
+}
+
+func TestConcurrentHIPPIScalesThenSaturates(t *testing.T) {
+	s := New()
+	bytes := int64(256 << 20)
+	_, agg1 := s.ConcurrentHIPPI(1, bytes, 64<<10)
+	_, agg2 := s.ConcurrentHIPPI(2, bytes, 64<<10)
+	_, agg4 := s.ConcurrentHIPPI(4, bytes, 64<<10)
+	if agg2 <= agg1 {
+		t.Errorf("two transfers should use the second channel: %v <= %v", agg2, agg1)
+	}
+	if agg4 > agg2*1.001 {
+		t.Errorf("beyond the channel count aggregate must saturate: %v > %v", agg4, agg2)
+	}
+	per2, _ := s.ConcurrentHIPPI(2, bytes, 64<<10)
+	per4, _ := s.ConcurrentHIPPI(4, bytes, 64<<10)
+	if per4 >= per2 {
+		t.Errorf("per-transfer rate should drop when oversubscribed: %v >= %v", per4, per2)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := New()
+	bad.IOPs = 9
+	if bad.Validate() == nil {
+		t.Error("9 IOPs accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Package ixs models the SX-4 internode crossbar (IXS): a fibre-channel
+// connected non-blocking crossbar joining up to 16 nodes, 8 GB/s per
+// node channel in each direction, 128 GB/s of bisection bandwidth, with
+// global hardware addressing and internode communications registers
+// that give the multinode system a single system image.
+package ixs
+
+import (
+	"fmt"
+	"math"
+)
+
+// IXS describes the crossbar configuration.
+type IXS struct {
+	Nodes                int
+	PerNodeBytesPerSec   float64 // each direction
+	BisectionBytesPerSec float64
+	LatencySec           float64
+}
+
+// New returns an IXS joining n nodes (2..16).
+func New(n int) IXS {
+	if n < 2 || n > 16 {
+		panic(fmt.Sprintf("ixs: node count %d out of range [2,16]", n))
+	}
+	return IXS{
+		Nodes:                n,
+		PerNodeBytesPerSec:   8e9,
+		BisectionBytesPerSec: 128e9,
+		LatencySec:           2e-6,
+	}
+}
+
+// TransferTime returns the time for one point-to-point transfer.
+func (x IXS) TransferTime(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return x.LatencySec + float64(bytes)/x.PerNodeBytesPerSec
+}
+
+// ConcurrentRate returns the per-transfer rate when `transfers`
+// disjoint node pairs communicate simultaneously: limited first by the
+// per-node channels, then by the crossbar bisection.
+func (x IXS) ConcurrentRate(transfers int) float64 {
+	if transfers <= 0 {
+		return 0
+	}
+	per := x.PerNodeBytesPerSec
+	if agg := per * float64(transfers); agg > x.BisectionBytesPerSec {
+		per = x.BisectionBytesPerSec / float64(transfers)
+	}
+	return per
+}
+
+// AllToAllTime returns the time for every node to send bytesPerPair to
+// every other node (nodes*(nodes-1) messages), pipelined through the
+// per-node channels and capped by the bisection.
+func (x IXS) AllToAllTime(bytesPerPair int64) float64 {
+	if bytesPerPair <= 0 {
+		return 0
+	}
+	n := float64(x.Nodes)
+	perNodeBytes := float64(bytesPerPair) * (n - 1)
+	channelTime := perNodeBytes / x.PerNodeBytesPerSec
+	totalBytes := float64(bytesPerPair) * n * (n - 1)
+	// Roughly half of all-to-all traffic crosses the bisection.
+	bisectionTime := totalBytes / 2 / x.BisectionBytesPerSec
+	return x.LatencySec*math.Ceil(n-1) + math.Max(channelTime, bisectionTime)
+}
+
+// BarrierTime returns the cost of a global internode barrier through
+// the IXS communications registers.
+func (x IXS) BarrierTime() float64 {
+	// A fetch-op fan-in/fan-out across the crossbar.
+	return 2 * x.LatencySec * math.Ceil(math.Log2(float64(x.Nodes)))
+}
+
+// MultiNodeEfficiency estimates the parallel efficiency of spreading a
+// latitude-decomposed spectral model across the nodes, given the
+// per-step transpose volume in bytes and the single-node step time:
+// the CCM2 multinode projection used as a forward-looking ablation.
+func (x IXS) MultiNodeEfficiency(stepSeconds float64, transposeBytes int64) float64 {
+	comm := x.AllToAllTime(transposeBytes / int64(x.Nodes*(x.Nodes-1)))
+	perNode := stepSeconds/float64(x.Nodes) + comm + x.BarrierTime()
+	ideal := stepSeconds / float64(x.Nodes)
+	return ideal / perNode
+}

@@ -1,0 +1,79 @@
+package ixs
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1-node IXS accepted")
+		}
+	}()
+	New(1)
+}
+
+func TestTransferTime(t *testing.T) {
+	x := New(2)
+	if x.TransferTime(0) != 0 {
+		t.Error("zero transfer should be free")
+	}
+	// 8 GB at 8 GB/s ~ 1s.
+	got := x.TransferTime(8e9)
+	if got < 1.0 || got > 1.01 {
+		t.Errorf("8 GB transfer = %v s, want ~1", got)
+	}
+}
+
+func TestConcurrentRateCapsAtBisection(t *testing.T) {
+	x := New(16)
+	// Up to 16 concurrent pair transfers at 8 GB/s each = 128 GB/s,
+	// exactly the bisection; more transfers share.
+	if r := x.ConcurrentRate(8); r != x.PerNodeBytesPerSec {
+		t.Errorf("8 transfers run at %v, want full channel rate", r)
+	}
+	r16 := x.ConcurrentRate(16)
+	if r16 != x.PerNodeBytesPerSec {
+		t.Errorf("16 transfers = %v, want channel rate (128 GB/s total)", r16)
+	}
+	r32 := x.ConcurrentRate(32)
+	if r32 >= r16 {
+		t.Errorf("oversubscribed crossbar should slow transfers: %v >= %v", r32, r16)
+	}
+	if agg := r32 * 32; agg > x.BisectionBytesPerSec*1.001 {
+		t.Errorf("aggregate %v exceeds bisection", agg)
+	}
+}
+
+func TestAllToAllScalesWithVolume(t *testing.T) {
+	x := New(4)
+	small := x.AllToAllTime(1 << 20)
+	big := x.AllToAllTime(64 << 20)
+	if big <= small {
+		t.Errorf("bigger all-to-all should take longer: %v <= %v", big, small)
+	}
+	if x.AllToAllTime(0) != 0 {
+		t.Error("empty all-to-all should be free")
+	}
+}
+
+func TestBarrierCheap(t *testing.T) {
+	x := New(16)
+	if b := x.BarrierTime(); b <= 0 || b > 1e-3 {
+		t.Errorf("global barrier = %v s, want microseconds", b)
+	}
+}
+
+func TestMultiNodeEfficiency(t *testing.T) {
+	x := New(4)
+	// A big step with modest transpose volume parallelizes well...
+	effBig := x.MultiNodeEfficiency(1.0, 64<<20)
+	if effBig < 0.5 || effBig > 1 {
+		t.Errorf("multinode efficiency for a 1 s step = %v, want [0.5, 1]", effBig)
+	}
+	// ...a tiny step is communication dominated.
+	effSmall := x.MultiNodeEfficiency(1e-3, 64<<20)
+	if effSmall >= effBig {
+		t.Errorf("small step should be less efficient: %v >= %v", effSmall, effBig)
+	}
+}

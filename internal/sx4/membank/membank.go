@@ -1,0 +1,139 @@
+// Package membank models the SX-4 main memory unit: up to 1024 banks of
+// 64-bit-wide synchronous SRAM with a two-clock bank cycle, reached
+// through a non-blocking crossbar with a 16 GB/s port per processor.
+//
+// The paper guarantees conflict-free access for unit stride and stride 2
+// from all 32 processors simultaneously; higher strides and list-vector
+// (gather/scatter) access "benefit from the very short bank cycle time"
+// but are not conflict free. This package quantifies those effects as a
+// slowdown factor applied to the ideal pipe rate.
+package membank
+
+import "fmt"
+
+// System describes a banked memory system.
+type System struct {
+	// Banks is the number of independently cycling banks.
+	Banks int
+	// BusyClocks is the bank cycle (recovery) time in clocks.
+	BusyClocks int
+	// Pipes is the number of parallel load/store pipes per vector
+	// memory instruction (8 on the SX-4), i.e. the ideal element rate
+	// per clock for one stream.
+	Pipes int
+	// StridedPenalty is the minimum slowdown of a non-unit,
+	// non-stride-2 stream relative to the ideal rate, from crossbar
+	// section conflicts and partial-line utilization; only unit and
+	// stride-2 access carry the paper's conflict-free guarantee. A
+	// zero value means no penalty.
+	StridedPenalty float64
+}
+
+// NewSX4 returns the SX-4 main memory geometry: 1024 banks, 2-clock bank
+// cycle, 8-wide load/store pipes.
+func NewSX4() System {
+	return System{Banks: 1024, BusyClocks: 2, Pipes: 8, StridedPenalty: 2.5}
+}
+
+// Validate reports whether the system description is usable.
+func (s System) Validate() error {
+	if s.Banks <= 0 || s.BusyClocks <= 0 || s.Pipes <= 0 {
+		return fmt.Errorf("membank: invalid system %+v", s)
+	}
+	return nil
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// StrideFactor returns the slowdown factor (>= 1) for a vector memory
+// stream with the given element stride, relative to the ideal rate of
+// Pipes elements per clock.
+//
+// A stream at stride s touches Banks/gcd(s,Banks) distinct banks. To
+// sustain Pipes elements per clock with a BusyClocks bank cycle the
+// stream needs at least Pipes*BusyClocks distinct banks in its rotation;
+// with fewer, throughput degrades proportionally. Stride 1 and 2 are
+// conflict-free by construction (the paper's guarantee).
+func (s System) StrideFactor(stride int) float64 {
+	if stride == 0 {
+		// Broadcast of a single element: served from one bank but a
+		// single load; treat as conflict-free (register broadcast).
+		return 1
+	}
+	if stride == 1 || stride == -1 || stride == 2 || stride == -2 {
+		return 1
+	}
+	distinct := s.Banks / gcd(stride, s.Banks)
+	needed := s.Pipes * s.BusyClocks
+	f := 1.0
+	if distinct < needed {
+		f = float64(needed) / float64(distinct)
+	}
+	if s.StridedPenalty > f {
+		f = s.StridedPenalty
+	}
+	return f
+}
+
+// StrideElementsPerClock returns the sustainable element rate for a
+// strided stream.
+func (s System) StrideElementsPerClock(stride int) float64 {
+	return float64(s.Pipes) / s.StrideFactor(stride)
+}
+
+// GatherFactor returns the slowdown factor for list-vector (indirect)
+// access with approximately uniform random indices over a working set of
+// span elements. Random requests collide in banks occasionally; more
+// importantly the SX-4's list-vector path generates one address per
+// element through the gather pipe, which sustains well below the
+// contiguous stream rate. gatherRate is the machine's sustainable
+// gather rate in elements/clock (Config.GatherWordsPerClock).
+func (s System) GatherFactor(gatherRate float64, span int) float64 {
+	if gatherRate <= 0 {
+		panic("membank: non-positive gather rate")
+	}
+	base := float64(s.Pipes) / gatherRate
+	if base < 1 {
+		base = 1
+	}
+	// When the index span is much smaller than the bank count the same
+	// banks are hit repeatedly; model the extra serialization for very
+	// small spans. For span >= Banks the correction vanishes.
+	if span > 0 && span < s.Banks {
+		occupancy := float64(s.Banks) / float64(span)
+		extra := occupancy / float64(s.Banks/(s.Pipes*s.BusyClocks))
+		if extra > 1 {
+			base *= extra
+		}
+	}
+	return base
+}
+
+// ContentionFactor returns the node-level memory slowdown when
+// multiple CPUs stream concurrently: the ratio of aggregate ideal
+// demand to the node's sustainable rate (Banks/BusyClocks words per
+// clock, 512 for a full SX-4 node), floored at 1. Residual cross-job
+// interference is modeled separately by the machine.
+func (s System) ContentionFactor(demandWordsPerClock, capacityWordsPerClock float64) float64 {
+	if capacityWordsPerClock > 0 && demandWordsPerClock > capacityWordsPerClock {
+		return demandWordsPerClock / capacityWordsPerClock
+	}
+	return 1
+}
+
+// CapacityWordsPerClock returns the aggregate sustainable word rate of
+// the banked memory: Banks/BusyClocks.
+func (s System) CapacityWordsPerClock() float64 {
+	return float64(s.Banks) / float64(s.BusyClocks)
+}

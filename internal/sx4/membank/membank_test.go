@@ -1,0 +1,202 @@
+package membank
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSX4Geometry(t *testing.T) {
+	s := NewSX4()
+	if s.Banks != 1024 || s.BusyClocks != 2 || s.Pipes != 8 {
+		t.Fatalf("unexpected SX-4 geometry: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	for _, s := range []System{
+		{Banks: 0, BusyClocks: 2, Pipes: 8},
+		{Banks: 1024, BusyClocks: 0, Pipes: 8},
+		{Banks: 1024, BusyClocks: 2, Pipes: 0},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+}
+
+func TestUnitAndStride2ConflictFree(t *testing.T) {
+	s := NewSX4()
+	for _, stride := range []int{1, -1, 2, -2} {
+		if f := s.StrideFactor(stride); f != 1 {
+			t.Errorf("StrideFactor(%d) = %v, want 1 (paper guarantee)", stride, f)
+		}
+	}
+}
+
+func TestOddStridesNoBankConflicts(t *testing.T) {
+	s := NewSX4()
+	// Odd strides are coprime with a power-of-two bank count: the
+	// stream rotates through all banks, so only the base strided
+	// penalty applies.
+	for _, stride := range []int{3, 5, 7, 63, 127, 999} {
+		if f := s.StrideFactor(stride); f != s.StridedPenalty {
+			t.Errorf("StrideFactor(%d) = %v, want base penalty %v", stride, f, s.StridedPenalty)
+		}
+	}
+}
+
+func TestZeroStridedPenaltyMeansNone(t *testing.T) {
+	s := NewSX4()
+	s.StridedPenalty = 0
+	if f := s.StrideFactor(7); f != 1 {
+		t.Errorf("StrideFactor(7) with zero penalty = %v, want 1", f)
+	}
+}
+
+func TestPowerOfTwoStridesDegrade(t *testing.T) {
+	s := NewSX4()
+	// stride 128 -> 8 distinct banks, need 16 -> bank factor 2, below
+	// the base strided penalty.
+	if f := s.StrideFactor(128); f != s.StridedPenalty {
+		t.Errorf("StrideFactor(128) = %v, want %v", f, s.StridedPenalty)
+	}
+	// stride 1024 -> 1 bank, factor 16.
+	if f := s.StrideFactor(1024); f != 16 {
+		t.Errorf("StrideFactor(1024) = %v, want 16", f)
+	}
+	// Degradation is monotone in the power of two.
+	prev := 0.0
+	for _, stride := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		f := s.StrideFactor(stride)
+		if f < prev {
+			t.Errorf("StrideFactor(%d) = %v < previous %v; want monotone", stride, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestStrideFactorAtLeastOne(t *testing.T) {
+	s := NewSX4()
+	f := func(stride int16) bool {
+		return s.StrideFactor(int(stride)) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrideFactorSignSymmetric(t *testing.T) {
+	s := NewSX4()
+	f := func(stride int16) bool {
+		if stride == 0 {
+			return true
+		}
+		return s.StrideFactor(int(stride)) == s.StrideFactor(-int(stride))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrideElementsPerClock(t *testing.T) {
+	s := NewSX4()
+	if got := s.StrideElementsPerClock(1); got != 8 {
+		t.Errorf("unit stride rate = %v, want 8", got)
+	}
+	if got := s.StrideElementsPerClock(1024); got != 0.5 {
+		t.Errorf("stride-1024 rate = %v, want 0.5", got)
+	}
+}
+
+func TestGatherSlowerThanUnitStride(t *testing.T) {
+	s := NewSX4()
+	g := s.GatherFactor(2.0, 0)
+	if g <= s.StrideFactor(1) {
+		t.Errorf("GatherFactor = %v, want > unit-stride factor 1", g)
+	}
+	if g != 4 { // 8 pipes / 2 elements-per-clock
+		t.Errorf("GatherFactor(2.0, large span) = %v, want 4", g)
+	}
+}
+
+func TestGatherSmallSpanWorse(t *testing.T) {
+	s := NewSX4()
+	large := s.GatherFactor(2.0, 0)
+	small := s.GatherFactor(2.0, 4)
+	if small <= large {
+		t.Errorf("gather with 4-element span (%v) should be slower than large span (%v)", small, large)
+	}
+	// Monotone improvement as the span grows.
+	prev := s.GatherFactor(2.0, 2)
+	for _, span := range []int{4, 8, 16, 64, 256, 1024, 4096} {
+		f := s.GatherFactor(2.0, span)
+		if f > prev+1e-12 {
+			t.Errorf("GatherFactor(span=%d) = %v > previous %v; want non-increasing", span, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestGatherFactorPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GatherFactor(0) did not panic")
+		}
+	}()
+	NewSX4().GatherFactor(0, 0)
+}
+
+func TestContentionNoOversubscription(t *testing.T) {
+	s := NewSX4()
+	// 32 CPUs each demanding 16 words/clock exactly saturates the
+	// 512-word/clock node: no slowdown yet.
+	if f := s.ContentionFactor(512, 512); f != 1 {
+		t.Errorf("saturated-node factor = %v, want 1", f)
+	}
+}
+
+func TestContentionOversubscribed(t *testing.T) {
+	s := NewSX4()
+	if f := s.ContentionFactor(1024, 512); f != 2 {
+		t.Errorf("2x oversubscription factor = %v, want 2", f)
+	}
+}
+
+func TestContentionSingleCPUUnaffected(t *testing.T) {
+	s := NewSX4()
+	if f := s.ContentionFactor(16, 512); f != 1 {
+		t.Errorf("single-CPU factor = %v, want 1", f)
+	}
+}
+
+func TestContentionMonotoneInDemand(t *testing.T) {
+	s := NewSX4()
+	prev := 0.0
+	for p := 1; p <= 32; p++ {
+		f := s.ContentionFactor(float64(32*p), 512)
+		if f < prev {
+			t.Errorf("contention factor decreased at p=%d: %v < %v", p, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestCapacityWordsPerClock(t *testing.T) {
+	if got := NewSX4().CapacityWordsPerClock(); got != 512 {
+		t.Errorf("capacity = %v words/clock, want 512", got)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 8, 4}, {1024, 512, 512}, {7, 1024, 1}, {-12, 8, 4}, {0, 5, 5},
+	}
+	for _, c := range cases {
+		if got := gcd(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package prog
+
+import (
+	"fmt"
+	"io"
+)
+
+// Dump writes a human-readable listing of the program — the moral
+// equivalent of the compiler's vectorization report, useful when
+// calibrating a trace against the paper's descriptions.
+func (p Program) Dump(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "program %s: %d phases, %d flops, %d words\n",
+		p.Name, len(p.Phases), p.Flops(), p.Words()); err != nil {
+		return err
+	}
+	for pi, ph := range p.Phases {
+		mode := "serial"
+		if ph.Parallel {
+			mode = "parallel"
+		}
+		if _, err := fmt.Fprintf(w, "  phase %d %q (%s, %d barriers", pi, ph.Name, mode, ph.Barriers); err != nil {
+			return err
+		}
+		if ph.SerialClocks > 0 {
+			if _, err := fmt.Fprintf(w, ", %.0f serial clocks", ph.SerialClocks); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, ")"); err != nil {
+			return err
+		}
+		for li, l := range ph.Loops {
+			if _, err := fmt.Fprintf(w, "    loop %d x%d:\n", li, l.Trips); err != nil {
+				return err
+			}
+			for _, op := range l.Body {
+				if err := dumpOp(w, op); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func dumpOp(w io.Writer, op Op) error {
+	switch op.Class {
+	case Scalar:
+		_, err := fmt.Fprintf(w, "      scalar x%d\n", op.Count)
+		return err
+	case VIntrinsic:
+		_, err := fmt.Fprintf(w, "      %-9s VL=%-7d %s\n", op.Class, op.VL, op.Intr)
+		return err
+	case VLoad, VStore:
+		_, err := fmt.Fprintf(w, "      %-9s VL=%-7d stride=%d\n", op.Class, op.VL, op.Stride)
+		return err
+	case VGather, VScatter:
+		_, err := fmt.Fprintf(w, "      %-9s VL=%-7d span=%d\n", op.Class, op.VL, op.Span)
+		return err
+	}
+	fl := op.FlopsPerElem
+	if fl == 0 {
+		fl = 1
+	}
+	_, err := fmt.Fprintf(w, "      %-9s VL=%-7d flops/elem=%d\n", op.Class, op.VL, fl)
+	return err
+}

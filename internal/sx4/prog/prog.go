@@ -1,0 +1,275 @@
+// Package prog defines the operation-trace intermediate representation
+// executed by the sx4 machine model.
+//
+// A Program is a sequence of Phases. Each Phase is either serial or
+// parallel (its loop trips are divided among the processors assigned to
+// the run) and contains vectorized loop nests. Each Loop executes its
+// body Ops once per trip; an Op names a resource class (a vector pipe
+// set, the memory port, a vectorized intrinsic, or scalar work), a
+// vector length, and an access pattern for memory operations.
+//
+// Benchmarks build Programs analytically from their loop structure; the
+// numerical packages cross-check the analytic flop counts against
+// instrumented counters in their tests.
+package prog
+
+import "fmt"
+
+// Class identifies the resource a vector operation occupies.
+type Class int
+
+const (
+	// VAdd occupies the add/shift pipe set (1 flop per element).
+	VAdd Class = iota
+	// VMul occupies the multiply pipe set (1 flop per element).
+	VMul
+	// VDiv occupies the divide pipe set; a divide sustains fewer
+	// elements per clock than add/multiply.
+	VDiv
+	// VLogical occupies the logical/mask pipe set (0 flops).
+	VLogical
+	// VLoad is a strided vector load (Stride field applies).
+	VLoad
+	// VStore is a strided vector store.
+	VStore
+	// VGather is an indirect (list-vector) load.
+	VGather
+	// VScatter is an indirect (list-vector) store.
+	VScatter
+	// VIntrinsic is a vectorized elementary function (Intr field).
+	VIntrinsic
+	// Scalar is non-vectorizable work measured in scalar instructions
+	// per trip (VL is ignored; Count holds the instruction count).
+	Scalar
+)
+
+var classNames = [...]string{
+	"vadd", "vmul", "vdiv", "vlogical",
+	"vload", "vstore", "vgather", "vscatter",
+	"vintrinsic", "scalar",
+}
+
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// IsMemory reports whether the class moves data through the memory port.
+func (c Class) IsMemory() bool {
+	return c == VLoad || c == VStore || c == VGather || c == VScatter
+}
+
+// IsIndirect reports whether the class is list-vector access.
+func (c Class) IsIndirect() bool { return c == VGather || c == VScatter }
+
+// Intrinsic identifies a vectorized elementary function.
+type Intrinsic int
+
+const (
+	Exp Intrinsic = iota
+	Log
+	Pow
+	Sin
+	Cos
+	Sqrt
+	numIntrinsics
+)
+
+var intrNames = [...]string{"EXP", "LOG", "PWR", "SIN", "COS", "SQRT"}
+
+func (i Intrinsic) String() string {
+	if i < 0 || int(i) >= len(intrNames) {
+		return fmt.Sprintf("intrinsic(%d)", int(i))
+	}
+	return intrNames[i]
+}
+
+// NumIntrinsics is the number of modeled intrinsic functions.
+const NumIntrinsics = int(numIntrinsics)
+
+// IntrinsicFlops gives the "Cray Y-MP equivalent" flop weight assigned
+// to one call of each intrinsic, following the hardware-monitor
+// convention the paper's MFLOPS figures use. The weights approximate
+// the operation count of the Cray scientific library routines.
+var IntrinsicFlops = [NumIntrinsics]int{
+	Exp:  12,
+	Log:  12,
+	Pow:  25,
+	Sin:  14,
+	Cos:  14,
+	Sqrt: 8,
+}
+
+// Op is one operation in a loop body, executed once per loop trip.
+type Op struct {
+	Class Class
+	// VL is the vector length of the operation (elements per trip).
+	// Lengths above the machine strip length are strip-mined by the
+	// engine. Ignored for Scalar ops.
+	VL int
+	// Stride is the element stride for VLoad/VStore (1 = contiguous).
+	Stride int
+	// Span is the index working-set size for gather/scatter (elements
+	// addressable by the index vector); 0 means "large".
+	Span int
+	// Intr selects the function for VIntrinsic ops.
+	Intr Intrinsic
+	// Count is the scalar instruction count per trip for Scalar ops.
+	Count int
+	// FlopsPerElem overrides the default flop weight of the class when
+	// positive (e.g. a fused multiply-add loop body accounted as one
+	// op). The default is 1 for VAdd/VMul/VDiv, the IntrinsicFlops
+	// weight for VIntrinsic, and 0 otherwise.
+	FlopsPerElem int
+}
+
+// Flops returns the flop count contributed by one trip of the op.
+func (o Op) Flops() int64 {
+	per := o.FlopsPerElem
+	if per == 0 {
+		switch o.Class {
+		case VAdd, VMul, VDiv:
+			per = 1
+		case VIntrinsic:
+			per = IntrinsicFlops[o.Intr]
+		default:
+			per = 0
+		}
+	}
+	if o.Class == Scalar {
+		return int64(per)
+	}
+	return int64(per) * int64(o.VL)
+}
+
+// Words returns the number of 64-bit words moved through the memory
+// port by one trip of the op.
+func (o Op) Words() int64 {
+	if !o.Class.IsMemory() {
+		return 0
+	}
+	w := int64(o.VL)
+	if o.Class.IsIndirect() {
+		// The index vector itself is loaded through the port.
+		w += int64(o.VL)
+	}
+	return w
+}
+
+// Loop is a vectorized loop nest: the body executes once per trip.
+type Loop struct {
+	Trips int64
+	Body  []Op
+}
+
+// Flops returns the total flops executed by the loop.
+func (l Loop) Flops() int64 {
+	var f int64
+	for _, op := range l.Body {
+		f += op.Flops()
+	}
+	return f * l.Trips
+}
+
+// Words returns the total memory-port words moved by the loop.
+func (l Loop) Words() int64 {
+	var w int64
+	for _, op := range l.Body {
+		w += op.Words()
+	}
+	return w * l.Trips
+}
+
+// Phase is a region of a program between synchronization points.
+type Phase struct {
+	// Name labels the phase in reports ("fft", "legendre", ...).
+	Name string
+	// Parallel phases divide loop trips among the run's processors;
+	// serial phases execute on one processor while others wait.
+	Parallel bool
+	// Loops are executed in sequence within the phase.
+	Loops []Loop
+	// Barriers is the number of communication-register barriers
+	// executed at the end of the phase (0 for serial phases is
+	// typical; parallel phases usually end in one).
+	Barriers int
+	// SerialClocks adds fixed scalar work (e.g. I/O setup) to the
+	// phase, not divided among processors.
+	SerialClocks float64
+}
+
+// Flops returns the total flops of the phase.
+func (p Phase) Flops() int64 {
+	var f int64
+	for _, l := range p.Loops {
+		f += l.Flops()
+	}
+	return f
+}
+
+// Program is a complete operation trace.
+type Program struct {
+	Name   string
+	Phases []Phase
+}
+
+// Flops returns the program's total flop count.
+func (p Program) Flops() int64 {
+	var f int64
+	for _, ph := range p.Phases {
+		f += ph.Flops()
+	}
+	return f
+}
+
+// Words returns the program's total memory words moved.
+func (p Program) Words() int64 {
+	var w int64
+	for _, ph := range p.Phases {
+		for _, l := range ph.Loops {
+			w += l.Words()
+		}
+	}
+	return w
+}
+
+// Bytes returns the program's memory traffic in bytes (64-bit words).
+func (p Program) Bytes() int64 { return 8 * p.Words() }
+
+// Simple wraps a single parallel phase with one loop, a common case for
+// kernels.
+func Simple(name string, trips int64, body ...Op) Program {
+	return Program{
+		Name: name,
+		Phases: []Phase{{
+			Name:     name,
+			Parallel: true,
+			Loops:    []Loop{{Trips: trips, Body: body}},
+		}},
+	}
+}
+
+// Validate checks structural invariants of the program.
+func (p Program) Validate() error {
+	for i, ph := range p.Phases {
+		for j, l := range ph.Loops {
+			if l.Trips < 0 {
+				return fmt.Errorf("prog %q: phase %d loop %d: negative trips", p.Name, i, j)
+			}
+			for k, op := range l.Body {
+				if op.Class != Scalar && op.VL <= 0 {
+					return fmt.Errorf("prog %q: phase %d loop %d op %d (%v): non-positive VL", p.Name, i, j, k, op.Class)
+				}
+				if op.Class == Scalar && op.Count <= 0 {
+					return fmt.Errorf("prog %q: phase %d loop %d op %d: scalar op needs Count", p.Name, i, j, k)
+				}
+				if op.Class == VIntrinsic && (op.Intr < 0 || int(op.Intr) >= NumIntrinsics) {
+					return fmt.Errorf("prog %q: phase %d loop %d op %d: bad intrinsic", p.Name, i, j, k)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package spu models the SX-4's superscalar scalar unit (Figure 4 of
+// the paper): a RISC core issuing up to two instructions per clock
+// (actually 1-4 in a given clock to service instruction states), with
+// 64 KB data and instruction caches, an 8 KB instruction buffer,
+// branch prediction, data prefetching and out-of-order execution. All
+// instructions — including vector ones — issue through this unit; it
+// is also the unit HINT-style scalar workloads exercise.
+package spu
+
+import "fmt"
+
+// Unit describes a scalar-unit configuration.
+type Unit struct {
+	// IssuePerClock is the sustained issue width (2 on the SX-4; the
+	// issue stage can initiate 1-4 in any given clock).
+	IssuePerClock float64
+	// DCacheKB and ICacheKB are the cache sizes.
+	DCacheKB, ICacheKB int
+	// CacheWordsPerClock is the data-cache bandwidth.
+	CacheWordsPerClock float64
+	// MissPenaltyClocks is the main-memory load penalty; prefetching
+	// hides part of it for regular streams (PrefetchCover).
+	MissPenaltyClocks float64
+	PrefetchCover     float64 // fraction of miss penalty hidden on streams
+	// Branch prediction: penalty per mispredicted branch and the
+	// predictor's accuracy.
+	BranchPenaltyClocks float64
+	PredictAccuracy     float64
+}
+
+// NewSX4 returns the SX-4 scalar unit.
+func NewSX4() Unit {
+	return Unit{
+		IssuePerClock:       2,
+		DCacheKB:            64,
+		ICacheKB:            64,
+		CacheWordsPerClock:  2,
+		MissPenaltyClocks:   30,
+		PrefetchCover:       0.5,
+		BranchPenaltyClocks: 6,
+		PredictAccuracy:     0.85,
+	}
+}
+
+// Validate reports configuration errors.
+func (u Unit) Validate() error {
+	if u.IssuePerClock <= 0 || u.CacheWordsPerClock <= 0 {
+		return fmt.Errorf("spu: non-positive rates in %+v", u)
+	}
+	if u.PredictAccuracy < 0 || u.PredictAccuracy > 1 || u.PrefetchCover < 0 || u.PrefetchCover > 1 {
+		return fmt.Errorf("spu: fractions out of [0,1] in %+v", u)
+	}
+	return nil
+}
+
+// Loop describes one scalar loop for timing.
+type Loop struct {
+	Iterations int
+	// Per-iteration costs.
+	Instructions float64 // non-memory instructions
+	MemRefs      float64 // loads+stores
+	Branches     float64 // conditional branches
+	// WorkingSetBytes is the loop's data footprint; Streaming marks
+	// regular (prefetchable) access.
+	WorkingSetBytes int64
+	Streaming       bool
+}
+
+// Clocks estimates the loop's execution time in scalar-unit clocks.
+func (u Unit) Clocks(l Loop) float64 {
+	if err := u.Validate(); err != nil {
+		panic(err)
+	}
+	if l.Iterations <= 0 {
+		return 0
+	}
+	issue := l.Instructions / u.IssuePerClock
+	var mem float64
+	if l.WorkingSetBytes <= int64(u.DCacheKB)*1024 {
+		mem = l.MemRefs / u.CacheWordsPerClock
+	} else {
+		miss := u.MissPenaltyClocks
+		if l.Streaming {
+			miss *= 1 - u.PrefetchCover
+		}
+		mem = l.MemRefs * miss
+	}
+	branch := l.Branches * (1 - u.PredictAccuracy) * u.BranchPenaltyClocks
+	return float64(l.Iterations) * (issue + mem + branch)
+}
+
+// MispredictCost returns the expected branch cost per branch.
+func (u Unit) MispredictCost() float64 {
+	return (1 - u.PredictAccuracy) * u.BranchPenaltyClocks
+}

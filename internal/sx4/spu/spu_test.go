@@ -1,0 +1,84 @@
+package spu
+
+import "testing"
+
+func hintLikeLoop(iters int, wsBytes int64) Loop {
+	return Loop{
+		Iterations:      iters,
+		Instructions:    40,
+		MemRefs:         10,
+		Branches:        4,
+		WorkingSetBytes: wsBytes,
+		Streaming:       false,
+	}
+}
+
+func TestSX4UnitValid(t *testing.T) {
+	if err := NewSX4().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := NewSX4()
+	bad.IssuePerClock = 0
+	if bad.Validate() == nil {
+		t.Error("zero issue width accepted")
+	}
+	bad = NewSX4()
+	bad.PredictAccuracy = 1.5
+	if bad.Validate() == nil {
+		t.Error("accuracy > 1 accepted")
+	}
+}
+
+func TestCacheResidentFasterThanMemory(t *testing.T) {
+	u := NewSX4()
+	inCache := u.Clocks(hintLikeLoop(1000, 32<<10))
+	outCache := u.Clocks(hintLikeLoop(1000, 4<<20))
+	if inCache >= outCache {
+		t.Errorf("cache-resident loop (%v) should beat memory-bound (%v)", inCache, outCache)
+	}
+	if outCache < 3*inCache {
+		t.Errorf("memory penalty too mild: %v vs %v", outCache, inCache)
+	}
+}
+
+func TestPrefetchHelpsStreams(t *testing.T) {
+	u := NewSX4()
+	random := hintLikeLoop(1000, 4<<20)
+	stream := random
+	stream.Streaming = true
+	if u.Clocks(stream) >= u.Clocks(random) {
+		t.Error("prefetching should reduce streaming-miss cost")
+	}
+}
+
+func TestBranchPredictionMatters(t *testing.T) {
+	good := NewSX4()
+	bad := NewSX4()
+	bad.PredictAccuracy = 0
+	l := hintLikeLoop(1000, 16<<10)
+	if bad.Clocks(l) <= good.Clocks(l) {
+		t.Error("worse predictor should cost more")
+	}
+	if got := good.MispredictCost(); got <= 0 || got >= good.BranchPenaltyClocks {
+		t.Errorf("mispredict cost %v out of range", got)
+	}
+}
+
+func TestZeroIterationsFree(t *testing.T) {
+	if NewSX4().Clocks(Loop{}) != 0 {
+		t.Error("empty loop should cost nothing")
+	}
+}
+
+func TestIssueWidthScales(t *testing.T) {
+	wide := NewSX4()
+	narrow := NewSX4()
+	narrow.IssuePerClock = 1
+	l := Loop{Iterations: 100, Instructions: 40, WorkingSetBytes: 1024}
+	if narrow.Clocks(l) <= wide.Clocks(l) {
+		t.Error("narrower issue should be slower")
+	}
+}

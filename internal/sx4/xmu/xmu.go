@@ -1,0 +1,70 @@
+// Package xmu models the SX-4 extended memory unit: a semiconductor
+// store of 60 ns DRAM behind a 16 GB/s port, up to 32 GB per node. The
+// XMU serves as a direct-mapped staging area for Fortran data arrays
+// too large for main memory (a compile-time option, no special
+// programming), and as backing store for the SFS file-system cache,
+// swap and /tmp — the same roles as the CRI SSD.
+package xmu
+
+import "fmt"
+
+// XMU describes one node's extended memory unit.
+type XMU struct {
+	CapacityBytes int64
+	BytesPerSec   float64
+	LatencySec    float64
+}
+
+// New returns an XMU with the given capacity in GB at the standard
+// 16 GB/s node bandwidth.
+func New(capacityGB float64) XMU {
+	return XMU{
+		CapacityBytes: int64(capacityGB * 1e9),
+		BytesPerSec:   16e9,
+		LatencySec:    2e-6,
+	}
+}
+
+// TransferTime returns the time to stage bytes between main memory and
+// the XMU.
+func (x XMU) TransferTime(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return x.LatencySec + float64(bytes)/x.BytesPerSec
+}
+
+// OutOfCore models a direct-mapped array sweep: arrayBytes of data
+// processed in tiles of tileBytes, with computeSecPerByte of work per
+// byte. Staging overlaps computation (the IOPs and XMU run
+// asynchronously), so the sweep time is the maximum of the compute and
+// staging streams plus one pipeline fill.
+func (x XMU) OutOfCore(arrayBytes, tileBytes int64, computeSecPerByte float64) (float64, error) {
+	if arrayBytes <= 0 || tileBytes <= 0 {
+		return 0, fmt.Errorf("xmu: non-positive sizes")
+	}
+	if arrayBytes > x.CapacityBytes {
+		return 0, fmt.Errorf("xmu: array (%d bytes) exceeds capacity (%d)", arrayBytes, x.CapacityBytes)
+	}
+	stage := float64(arrayBytes) / x.BytesPerSec
+	tiles := (arrayBytes + tileBytes - 1) / tileBytes
+	stage += float64(tiles) * x.LatencySec
+	compute := computeSecPerByte * float64(arrayBytes)
+	fill := x.TransferTime(tileBytes)
+	if stage > compute {
+		return stage + fill, nil
+	}
+	return compute + fill, nil
+}
+
+// CacheHitTime and CacheMissTime give the SFS file-cache service times
+// for a block: hits are served from XMU, misses from the disk model's
+// time plus the staging copy.
+func (x XMU) CacheHitTime(blockBytes int64) float64 {
+	return x.TransferTime(blockBytes)
+}
+
+// CacheMissTime combines a backing-store fetch with the XMU fill.
+func (x XMU) CacheMissTime(blockBytes int64, backingSeconds float64) float64 {
+	return backingSeconds + x.TransferTime(blockBytes)
+}

@@ -1,0 +1,67 @@
+package xmu
+
+import (
+	"testing"
+)
+
+func TestTransferTime(t *testing.T) {
+	x := New(4)
+	if got := x.TransferTime(0); got != 0 {
+		t.Errorf("zero transfer = %v", got)
+	}
+	// 16 GB at 16 GB/s ~ 1 s.
+	if got := x.TransferTime(1.6e10 / 4); got < 0.24 || got > 0.26 {
+		t.Errorf("4 GB stage = %v s, want ~0.25", got)
+	}
+}
+
+func TestOutOfCoreComputeBound(t *testing.T) {
+	x := New(32)
+	// Heavy compute: staging hides behind it.
+	arr := int64(8e9)
+	got, err := x.OutOfCore(arr, 64<<20, 1e-9) // 1 ns/byte of work
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := 1e-9 * float64(arr)
+	if got < compute || got > compute*1.05 {
+		t.Errorf("compute-bound sweep = %v, want just over %v", got, compute)
+	}
+}
+
+func TestOutOfCoreStagingBound(t *testing.T) {
+	x := New(32)
+	arr := int64(8e9)
+	got, err := x.OutOfCore(arr, 64<<20, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := float64(arr) / x.BytesPerSec
+	if got < stage || got > stage*1.2 {
+		t.Errorf("staging-bound sweep = %v, want just over %v", got, stage)
+	}
+}
+
+func TestOutOfCoreCapacity(t *testing.T) {
+	x := New(4)
+	if _, err := x.OutOfCore(8e9, 1<<20, 1e-9); err == nil {
+		t.Error("array beyond XMU capacity accepted")
+	}
+	if _, err := x.OutOfCore(0, 1<<20, 1e-9); err == nil {
+		t.Error("zero array accepted")
+	}
+}
+
+func TestCacheTimes(t *testing.T) {
+	x := New(4)
+	hit := x.CacheHitTime(1 << 20)
+	miss := x.CacheMissTime(1<<20, 0.012)
+	if miss <= hit {
+		t.Errorf("miss (%v) should cost more than hit (%v)", miss, hit)
+	}
+	// XMU hits serve a 1 MB block in tens of microseconds — far
+	// faster than any disk.
+	if hit > 1e-3 {
+		t.Errorf("XMU hit = %v s, want well under 1 ms", hit)
+	}
+}

@@ -1,0 +1,20 @@
+package vmath
+
+import (
+	"testing"
+
+	"sx4bench/internal/elefunt"
+)
+
+// The ELEFUNT category exists to vet optimized vendor math libraries.
+// This library must pass the same identity test that rejects the
+// deliberately sloppy implementation in the elefunt package's tests.
+func TestELEFUNTAcceptsThisLibrary(t *testing.T) {
+	r := elefunt.TestExpImpl(func(x float64) float64 { return expOne(x) })
+	if !r.Pass {
+		t.Errorf("vmath EXP rejected by ELEFUNT: %s", r)
+	}
+	if r.MaxULP > r.Bound {
+		t.Errorf("vmath EXP identity error %.2f ulp, want <= %.1f", r.MaxULP, r.Bound)
+	}
+}

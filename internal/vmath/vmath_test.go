@@ -1,0 +1,235 @@
+package vmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ulps measures |got-want| in units of want's last place.
+func ulps(got, want float64) float64 {
+	if got == want {
+		return 0
+	}
+	if want == 0 || math.IsInf(want, 0) || math.IsNaN(want) {
+		return math.Inf(1)
+	}
+	u := math.Abs(math.Nextafter(want, math.Inf(1)) - want)
+	return math.Abs(got-want) / u
+}
+
+func maxULPOver(t *testing.T, n int, gen func(*rand.Rand) float64, f func(float64) float64, ref func(float64) float64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		x := gen(rng)
+		if e := ulps(f(x), ref(x)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func TestExpAccuracy(t *testing.T) {
+	worst := maxULPOver(t, 20000,
+		func(r *rand.Rand) float64 { return -700 + 1400*r.Float64() },
+		expOne, math.Exp)
+	if worst > 2 {
+		t.Errorf("Exp max error %.2f ulp, want <= 2", worst)
+	}
+}
+
+func TestLogAccuracy(t *testing.T) {
+	worst := maxULPOver(t, 20000,
+		func(r *rand.Rand) float64 { return math.Exp(-300 + 600*r.Float64()) },
+		logOne, math.Log)
+	if worst > 2 {
+		t.Errorf("Log max error %.2f ulp, want <= 2", worst)
+	}
+}
+
+func TestSinAccuracy(t *testing.T) {
+	// Near the zeros of sine the reduced argument carries the
+	// reduction's absolute error, so (as vector libraries specify)
+	// accuracy is absolute over the range plus relative away from the
+	// zeros.
+	rng := rand.New(rand.NewSource(8))
+	worstAbs, worstRel := 0.0, 0.0
+	for i := 0; i < 20000; i++ {
+		x := -100 + 200*rng.Float64()
+		got, want := sinOne(x), math.Sin(x)
+		if a := math.Abs(got - want); a > worstAbs {
+			worstAbs = a
+		}
+		if math.Abs(want) > 0.1 {
+			if e := ulps(got, want); e > worstRel {
+				worstRel = e
+			}
+		}
+	}
+	if worstAbs > 2e-15 {
+		t.Errorf("Sin absolute error %.3g, want <= 2e-15", worstAbs)
+	}
+	if worstRel > 16 {
+		t.Errorf("Sin relative error %.2f ulp away from zeros, want <= 16", worstRel)
+	}
+}
+
+func TestPowAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	worst := 0.0
+	for i := 0; i < 20000; i++ {
+		x := math.Exp(-20 + 40*rng.Float64())
+		y := -8 + 16*rng.Float64()
+		want := math.Pow(x, y)
+		if want == 0 || math.IsInf(want, 0) {
+			continue
+		}
+		// exp(y log x) amplifies by |y log x|; allow the standard bound.
+		scale := 1 + math.Abs(y*math.Log(x))
+		if e := ulps(powOne(x, y), want) / scale; e > worst {
+			worst = e
+		}
+	}
+	if worst > 3 {
+		t.Errorf("Pow scaled max error %.2f ulp, want <= 3", worst)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	if !math.IsInf(expOne(1000), 1) {
+		t.Error("exp overflow should be +Inf")
+	}
+	if expOne(-1000) != 0 {
+		t.Error("exp underflow should be 0")
+	}
+	if !math.IsNaN(expOne(math.NaN())) {
+		t.Error("exp(NaN) != NaN")
+	}
+	if !math.IsInf(logOne(0), -1) {
+		t.Error("log(0) != -Inf")
+	}
+	if !math.IsNaN(logOne(-1)) {
+		t.Error("log(-1) != NaN")
+	}
+	if !math.IsInf(logOne(math.Inf(1)), 1) {
+		t.Error("log(+Inf) != +Inf")
+	}
+	if !math.IsNaN(sinOne(math.Inf(1))) {
+		t.Error("sin(Inf) != NaN")
+	}
+	if powOne(0, 2) != 0 || powOne(5, 0) != 1 || powOne(1, 99.5) != 1 {
+		t.Error("pow special cases wrong")
+	}
+	if powOne(-2, 3) != -8 {
+		t.Errorf("(-2)^3 = %v", powOne(-2, 3))
+	}
+	if powOne(-2, 2) != 4 {
+		t.Errorf("(-2)^2 = %v", powOne(-2, 2))
+	}
+	if !math.IsNaN(powOne(-2, 0.5)) {
+		t.Error("(-2)^0.5 should be NaN")
+	}
+	if !math.IsInf(powOne(0, -1), 1) {
+		t.Error("0^-1 should be +Inf")
+	}
+}
+
+func TestSliceAPIs(t *testing.T) {
+	src := []float64{0, 1, 2, -1}
+	dst := make([]float64, 4)
+	Exp(dst, src)
+	for i, x := range src {
+		if ulps(dst[i], math.Exp(x)) > 2 {
+			t.Errorf("Exp slice mismatch at %d", i)
+		}
+	}
+	pos := []float64{0.5, 1, 2, 10}
+	Log(dst, pos)
+	for i, x := range pos {
+		if ulps(dst[i], math.Log(x)) > 2 {
+			t.Errorf("Log slice mismatch at %d", i)
+		}
+	}
+	Sqrt(dst, pos)
+	for i, x := range pos {
+		if dst[i] != math.Sqrt(x) {
+			t.Errorf("Sqrt slice mismatch at %d", i)
+		}
+	}
+	Sin(dst, src)
+	ys := []float64{1.5, 2, 0.5, 3}
+	Pow(dst, pos, ys)
+	for i := range pos {
+		if ulps(dst[i], math.Pow(pos[i], ys[i])) > 16 {
+			t.Errorf("Pow slice mismatch at %d", i)
+		}
+	}
+}
+
+func TestAliasingAllowed(t *testing.T) {
+	x := []float64{0.5, 1.5, 2.5}
+	want := make([]float64, 3)
+	Exp(want, x)
+	Exp(x, x) // in place
+	for i := range x {
+		if x[i] != want[i] {
+			t.Error("in-place Exp differs")
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Exp(make([]float64, 2), make([]float64, 3)) },
+		func() { Log(make([]float64, 2), make([]float64, 3)) },
+		func() { Sqrt(make([]float64, 2), make([]float64, 3)) },
+		func() { Sin(make([]float64, 2), make([]float64, 3)) },
+		func() { Pow(make([]float64, 2), make([]float64, 2), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("length mismatch did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickExpLogInverse(t *testing.T) {
+	f := func(u uint16) bool {
+		x := 1e-6 + float64(u)
+		// exp amplifies its argument's error by |log x| in relative
+		// terms, so the round-trip bound scales with the magnitude.
+		bound := 4 + 2*math.Abs(logOne(x))
+		return ulps(expOne(logOne(x)), x) <= bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSinBounded(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+			return true
+		}
+		v := sinOne(x)
+		return v >= -1.0000000001 && v <= 1.0000000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOddEvenSymmetry(t *testing.T) {
+	for _, x := range []float64{0.1, 1.7, 42.42, 1e4} {
+		if sinOne(-x) != -sinOne(x) {
+			t.Errorf("sin not odd at %v", x)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package sx4bench reproduces "Architecture and Application: The
+// Performance of the NEC SX-4 on the NCAR Benchmark Suite" (Hammond,
+// Loft & Tannenbaum, SC'96): a calibrated performance model of the NEC
+// SX-4 parallel vector supercomputer, full implementations of the NCAR
+// Benchmark Suite's thirteen kernels and three geophysical applications
+// (CCM2-style spectral climate model, MOM rigid-lid and POP
+// free-surface ocean models), the comparison benchmarks the paper
+// discusses (LINPACK, HINT, STREAM, NAS-style kernels), and runners
+// that regenerate every table and figure in the paper's evaluation.
+//
+// This file is the curated facade over the internal packages; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-model numbers.
+package sx4bench
+
+import (
+	"fmt"
+	"io"
+
+	"sx4bench/internal/core"
+	"sx4bench/internal/ncar"
+	"sx4bench/internal/sx4"
+)
+
+// Machine is the SX-4 performance model (see internal/sx4).
+type Machine = sx4.Machine
+
+// Config describes an SX-4 system configuration.
+type Config = sx4.Config
+
+// Table and Figure are rendered experiment results.
+type (
+	Table  = core.Table
+	Figure = core.Figure
+)
+
+// Benchmarked returns the system measured in the paper: an SX-4/32
+// with the 9.2 ns pre-production clock (Table 2).
+func Benchmarked() *Machine { return sx4.New(sx4.Benchmarked()) }
+
+// Production returns an SX-4 with the production 8.0 ns clock, cpus
+// processors per node and the given node count (joined by the IXS).
+func Production(cpus, nodes int) *Machine { return sx4.New(sx4.NewConfig(cpus, nodes)) }
+
+// Experiments lists the regenerable experiment identifiers.
+func Experiments() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig5", "fig6", "fig7", "fig8",
+		"radabs", "pop", "prodload", "correctness", "io",
+		"multinode", "report", "profile",
+	}
+}
+
+// RunExperiment regenerates one paper experiment by identifier and
+// writes it as text to w.
+func RunExperiment(w io.Writer, m *Machine, id string) error {
+	switch id {
+	case "table1":
+		return core.WriteTable(w, ncar.Table1())
+	case "table2":
+		return core.WriteTable(w, ncar.Table2())
+	case "table3":
+		return core.WriteTable(w, ncar.Table3(m))
+	case "table4":
+		return core.WriteTable(w, ncar.Table4())
+	case "table5":
+		return core.WriteTable(w, ncar.Table5(m))
+	case "table6":
+		return core.WriteTable(w, ncar.Table6(m))
+	case "table7":
+		return core.WriteTable(w, ncar.Table7(m))
+	case "fig5":
+		return core.WriteFigure(w, ncar.Fig5(m, 4))
+	case "fig6":
+		return core.WriteFigure(w, ncar.Fig6(m))
+	case "fig7":
+		return core.WriteFigure(w, ncar.Fig7(m))
+	case "fig8":
+		return core.WriteFigure(w, ncar.Fig8(m))
+	case "radabs":
+		_, err := fmt.Fprintf(w, "RADABS (SX-4/1): %.1f Cray Y-MP equivalent MFLOPS (paper: 865.9)\n",
+			ncar.RADABSMFlops(m))
+		return err
+	case "pop":
+		_, err := fmt.Fprintf(w, "POP 2-degree (SX-4/1): %.0f MFLOPS (paper: 537)\n", ncar.POPMFlops(m))
+		return err
+	case "prodload":
+		r := ncar.Prodload(m)
+		_, err := fmt.Fprintf(w,
+			"PRODLOAD: test1=%.0fs test2=%.0fs test3=%.0fs test4=%.0fs total=%.0fs (%.1f min; paper: 93 min 28 s)\n",
+			r.Test1, r.Test2, r.Test3, r.Test4, r.TotalSeconds, r.TotalMinutes())
+		return err
+	case "correctness":
+		c := ncar.RunCorrectness()
+		if _, err := fmt.Fprintf(w, "PARANOIA: %s\n", c.Paranoia.Summary()); err != nil {
+			return err
+		}
+		for _, e := range c.Elefunt {
+			if _, err := fmt.Fprintf(w, "ELEFUNT %s\n", e); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "correctness category pass: %v\n", c.Pass)
+		return err
+	case "io":
+		r := ncar.RunIOCategory()
+		for _, h := range r.History {
+			if _, err := fmt.Fprintf(w, "IO %s\n", h); err != nil {
+				return err
+			}
+		}
+		for _, p := range r.HIPPI {
+			if _, err := fmt.Fprintf(w, "HIPPI pkt=%dB x%d: %.1f MB/s per transfer, %.1f aggregate\n",
+				p.PacketBytes, p.Concurrent, p.PerTransferMBps, p.AggregateMBps); err != nil {
+				return err
+			}
+		}
+		for _, n := range r.Network {
+			if _, err := fmt.Fprintf(w, "NETWORK %-16s %8.3f s %8.2f MB/s\n", n.Name, n.Seconds, n.MBps); err != nil {
+				return err
+			}
+		}
+		for _, c := range r.Concurrent {
+			if _, err := fmt.Fprintf(w, "IO %2d writers: CPU-blocked %6.2f s, on disk after %6.2f s\n",
+				c.Writers, c.CPUSeconds, c.DiskSeconds); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "multinode":
+		for _, res := range []string{"T42L18", "T170L18"} {
+			tab, err := ncar.MultiNodeTable(m, res)
+			if err != nil {
+				return err
+			}
+			if err := core.WriteTable(w, tab); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "report":
+		return ncar.WriteReport(w, m)
+	case "profile":
+		for _, res := range []string{"T42L18", "T170L18"} {
+			tab, err := ncar.ProfileTable(m, res, m.Config().CPUs)
+			if err != nil {
+				return err
+			}
+			if err := core.WriteTable(w, tab); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("sx4bench: unknown experiment %q (known: %v)", id, Experiments())
+}
+
+// RunAll regenerates every experiment in order.
+func RunAll(w io.Writer, m *Machine) error {
+	for _, id := range Experiments() {
+		if _, err := fmt.Fprintf(w, "\n=== %s ===\n", id); err != nil {
+			return err
+		}
+		if err := RunExperiment(w, m, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
