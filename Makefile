@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench examples figures report clean
+.PHONY: all build vet test test-short race bench bench-baseline ci examples figures report clean
 
 all: build vet test
 
@@ -23,6 +23,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# What CI runs (see .github/workflows/ci.yml): vet, build, and the
+# full test suite under the race detector.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# Record the benchmark baseline (including the serial-vs-parallel
+# RunAll wall-clock pair) as BENCH_BASELINE.json.
+bench-baseline:
+	$(GO) test -run '^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_BASELINE.json
 
 # Regenerate every table and figure of the paper.
 figures:

@@ -376,3 +376,25 @@ func BenchmarkAllExperiments(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunAllSerial and BenchmarkRunAllParallel are the headline
+// pair recorded in BENCH_BASELINE.json: the full experiment stream on
+// one worker versus the scheduler's GOMAXPROCS fan-out (identical
+// output either way).
+func BenchmarkRunAllSerial(b *testing.B) {
+	m := mach()
+	for i := 0; i < b.N; i++ {
+		if err := sx4bench.RunAllWorkers(io.Discard, m, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	m := mach()
+	for i := 0; i < b.N; i++ {
+		if err := sx4bench.RunAllWorkers(io.Discard, m, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

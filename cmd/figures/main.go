@@ -23,11 +23,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1..table7, fig5..fig8, radabs, pop, prodload, correctness, io, multinode, report, all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text (figures and tables only)")
 	plot := flag.Bool("plot", false, "render figures as ASCII log-log charts")
+	workers := flag.Int("workers", 0, "experiment-level parallelism for -exp all (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+	cacheStats := flag.Bool("cachestats", false, "print machine-model timing-cache hit/miss counters to stderr on exit")
 	flag.Parse()
 
 	m := sx4bench.Benchmarked()
+	if *cacheStats {
+		defer func() {
+			fmt.Fprintf(os.Stderr, "figures: timing cache %s\n", m.CacheStats())
+		}()
+	}
 	if *exp == "all" {
-		if err := sx4bench.RunAll(os.Stdout, m); err != nil {
+		if err := sx4bench.RunAllWorkers(os.Stdout, m, *workers); err != nil {
 			fail(err)
 		}
 		return

@@ -13,9 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sx4bench"
+	"sx4bench/internal/core/sched"
 	"sx4bench/internal/ncar"
 	"sx4bench/internal/sx4"
 )
@@ -23,6 +25,7 @@ import (
 func main() {
 	run := flag.String("run", "", "benchmark name (see list), or 'all'")
 	cpus := flag.Int("cpus", 32, "processors for the application benchmarks")
+	workers := flag.Int("workers", 0, "suite-level parallelism for -run all (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	flag.Parse()
 
 	m := sx4bench.Benchmarked()
@@ -31,11 +34,18 @@ func main() {
 		return
 	}
 	if *run == "all" {
+		var tasks []sched.Task
 		for _, b := range ncar.Suite() {
-			fmt.Printf("\n--- %s (%s) ---\n", b.Name, b.Category)
-			if err := ncar.RunBenchmark(os.Stdout, machineOf(m), b.Name, *cpus); err != nil {
-				fail(err)
-			}
+			b := b
+			tasks = append(tasks, sched.Task{ID: b.Name, Run: func(w io.Writer) error {
+				if _, err := fmt.Fprintf(w, "\n--- %s (%s) ---\n", b.Name, b.Category); err != nil {
+					return err
+				}
+				return ncar.RunBenchmark(w, machineOf(m), b.Name, *cpus)
+			}})
+		}
+		if err := sched.Stream(os.Stdout, *workers, tasks); err != nil {
+			fail(err)
 		}
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"sx4bench/internal/core/sched"
 	"sx4bench/internal/radabs"
 	"sx4bench/internal/slt"
 	"sx4bench/internal/spharm"
@@ -60,10 +61,11 @@ type Model struct {
 	coolRate []float64 // per-level radiative relaxation rate [1/s]
 	steps    int
 
-	// HostProcs controls goroutine parallelism of the host
-	// integration (microtasked loops via commreg); results are
-	// bit-identical to serial execution. Zero means serial.
-	HostProcs int
+	// Workers controls goroutine parallelism of the host integration
+	// (microtasked loops via commreg); results are bit-identical to
+	// serial execution for any setting. Zero means
+	// runtime.GOMAXPROCS(0); one forces the serial path.
+	Workers int
 
 	// SemiImplicit selects the implicit gravity-wave scheme, enabling
 	// the operational Table 4 time steps.
@@ -137,12 +139,15 @@ func NewModel(res Resolution, nlev int) *Model {
 // NLev returns the model's layer count.
 func (m *Model) NLev() int { return len(m.Layers) }
 
+// workers resolves the Workers knob per the repo-wide convention.
+func (m *Model) workers() int { return sched.Workers(m.Workers) }
+
 // Step advances the model one time step of dt seconds: dynamics in
 // every layer, vertical diffusion, radiative relaxation, and moisture
 // transport.
 func (m *Model) Step(dt float64) {
 	// Dynamics: the layers are independent within a step.
-	commreg.ParallelFor(m.HostProcs, len(m.Layers), func(k int) {
+	commreg.ParallelFor(m.workers(), len(m.Layers), func(k int) {
 		if m.SemiImplicit {
 			m.Layers[k].StepSemiImplicit(dt)
 		} else {
@@ -171,7 +176,7 @@ func (m *Model) Step(dt float64) {
 		}
 	}
 	// Moisture: semi-Lagrangian transport by each layer's winds.
-	commreg.ParallelFor(m.HostProcs, len(m.Layers), func(k int) {
+	commreg.ParallelFor(m.workers(), len(m.Layers), func(k int) {
 		l := m.Layers[k]
 		U, V := l.Winds()
 		u := make([]float64, len(U))

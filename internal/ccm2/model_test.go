@@ -144,7 +144,7 @@ func TestSemiImplicitModelAtOperationalStep(t *testing.T) {
 func TestHostParallelismDeterministic(t *testing.T) {
 	serial := testModel(t)
 	parallel := testModel(t)
-	parallel.HostProcs = 3
+	parallel.Workers = 3
 	dt := serial.StableTimeStep()
 	for i := 0; i < 8; i++ {
 		serial.Step(dt)

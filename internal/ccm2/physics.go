@@ -62,15 +62,21 @@ type PhysicsDiagnostics struct {
 // the atmosphere as precipitation (removed mass), evaporation
 // replenishes the lowest layer — so a long integration reaches a
 // moisture balance instead of drying out or flooding.
+// physChunkCells is the fixed decomposition grain of the column-physics
+// loop. The chunk count depends only on the grid — never on Workers —
+// so the chunk-ordered diagnostic sums are identical for every worker
+// setting (a worker-sized decomposition would regroup the floating-
+// point sums whenever the knob changed).
+const physChunkCells = 2048
+
 func (m *Model) StepPhysics(tuning PhysicsTuning) PhysicsDiagnostics {
 	nlev := m.NLev()
 	nCells := m.Res.NLat * m.Res.NLon
-	diags := make([]PhysicsDiagnostics, maxInt(1, m.HostProcs))
-	procs := maxInt(1, m.HostProcs)
-	chunk := (nCells + procs - 1) / procs
+	nChunks := (nCells + physChunkCells - 1) / physChunkCells
+	diags := make([]PhysicsDiagnostics, nChunks)
 
-	commreg.ParallelFor(m.HostProcs, procs, func(w int) {
-		lo, hi := w*chunk, minInt((w+1)*chunk, nCells)
+	commreg.ParallelFor(m.workers(), nChunks, func(w int) {
+		lo, hi := w*physChunkCells, minInt((w+1)*physChunkCells, nCells)
 		d := &diags[w]
 		for cell := lo; cell < hi; cell++ {
 			// Large-scale condensation: remove supersaturation.
@@ -118,13 +124,6 @@ func (m *Model) StepPhysics(tuning PhysicsTuning) PhysicsDiagnostics {
 		total.ConvectedCells += d.ConvectedCells
 	}
 	return total
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func minInt(a, b int) int {

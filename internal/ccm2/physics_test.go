@@ -130,7 +130,7 @@ func TestClimateReachesMoistureBalance(t *testing.T) {
 func TestPhysicsParallelDeterministic(t *testing.T) {
 	a := testModel(t)
 	b := testModel(t)
-	b.HostProcs = 4
+	b.Workers = 4
 	tune := DefaultPhysics()
 	for i := 0; i < 10; i++ {
 		da := a.StepPhysics(tune)

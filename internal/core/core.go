@@ -9,7 +9,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 
 	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
@@ -28,15 +28,58 @@ type Executor interface {
 // KTRIES best-of-k rule has something to smooth, as it did on the real
 // machine. Amp is the maximum fractional slowdown; a zero Noise is
 // silent.
+//
+// Perturb is safe for concurrent use, but concurrent callers sharing
+// one Noise consume draws in scheduling order, which is not
+// reproducible. Under the parallel experiment engine each independent
+// unit of work must therefore draw from its own Stream: sub-sources
+// whose sequences depend only on (Seed, id), never on execution order.
 type Noise struct {
 	Amp  float64
 	Seed int64
-	rng  *rand.Rand
+
+	mu    sync.Mutex
+	state uint64 // SplitMix64 stream state; 0 means "not yet seeded"
 }
 
 // NewNoise returns a jitter source with the given amplitude and seed.
 func NewNoise(amp float64, seed int64) *Noise {
-	return &Noise{Amp: amp, Seed: seed, rng: rand.New(rand.NewSource(seed))}
+	return &Noise{Amp: amp, Seed: seed, state: noiseState(seed)}
+}
+
+// noiseState maps a user seed onto a non-zero SplitMix64 state.
+// Seeding is a single mix — cheap enough that the parallel sweeps can
+// fork one Stream per measurement point without the stream setup
+// dominating the measurement (rand.Rand's 607-word lagged-Fibonacci
+// seeding did exactly that).
+func noiseState(seed int64) uint64 {
+	s := splitmix64(uint64(seed))
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive well-spread
+// stream seeds from (Seed, id) pairs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream derives the id-th independent jitter stream: same amplitude,
+// a seed mixed from (Seed, id). Streams with the same (Seed, id) are
+// identical no matter how many exist or in which order they are used,
+// which is what makes parallel sweeps deterministic: one stream per
+// measurement point, keyed by the point's index.
+func (n *Noise) Stream(id int64) *Noise {
+	if n == nil {
+		return nil
+	}
+	seed := int64(splitmix64(splitmix64(uint64(n.Seed)) ^ uint64(id)))
+	return NewNoise(n.Amp, seed)
 }
 
 // Perturb returns seconds inflated by a random factor in [1, 1+Amp].
@@ -44,10 +87,15 @@ func (n *Noise) Perturb(seconds float64) float64 {
 	if n == nil || n.Amp == 0 {
 		return seconds
 	}
-	if n.rng == nil {
-		n.rng = rand.New(rand.NewSource(n.Seed))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == 0 {
+		n.state = noiseState(n.Seed)
 	}
-	return seconds * (1 + n.Amp*n.rng.Float64())
+	// SplitMix64 step, then take the top 53 bits as a uniform in [0,1).
+	n.state += 0x9e3779b97f4a7c15
+	u := float64(splitmix64(n.state)>>11) / (1 << 53)
+	return seconds * (1 + n.Amp*u)
 }
 
 // KTries runs trial k times and returns the best (smallest) time, the
@@ -195,11 +243,14 @@ func ConstantVolumeSweep(volume, minN, maxN, perDecade int) []SweepPair {
 // jitter, returning the best time. payloadBytes may be zero for
 // compute benchmarks.
 func Run(ex Executor, p prog.Program, opts sx4.RunOpts, ktries int, noise *Noise, payloadBytes int64) Measurement {
-	var flops int64
+	// Executors are pure functions of (p, opts) — jitter enters only
+	// through noise — so the trace is simulated once and only the
+	// perturbation repeats. The draw sequence matches calling ex.Run
+	// inside the loop draw-for-draw, so reported numbers are unchanged,
+	// but a KTRIES=20 point costs one simulation instead of twenty.
+	r := ex.Run(p, opts)
 	best := KTries(ktries, func() float64 {
-		r := ex.Run(p, opts)
-		flops = r.Flops
 		return noise.Perturb(r.Seconds)
 	})
-	return Measurement{Seconds: best, Flops: flops, PayloadBytes: payloadBytes}
+	return Measurement{Seconds: best, Flops: r.Flops, PayloadBytes: payloadBytes}
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStreamsOrderIndependent: the draws of stream i do not depend on
+// whether, or in what order, other streams were used — the property
+// the parallel sweeps rely on.
+func TestStreamsOrderIndependent(t *testing.T) {
+	root := NewNoise(0.03, 1996)
+	want := make([]float64, 10)
+	for i := range want {
+		want[i] = root.Stream(int64(i)).Perturb(1.0)
+	}
+
+	// Use the streams in reverse order from a fresh root.
+	root2 := NewNoise(0.03, 1996)
+	for i := len(want) - 1; i >= 0; i-- {
+		if got := root2.Stream(int64(i)).Perturb(1.0); got != want[i] {
+			t.Fatalf("stream %d drew %v out of order, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	root := NewNoise(0.1, 7)
+	a := root.Stream(0).Perturb(1.0)
+	b := root.Stream(1).Perturb(1.0)
+	if a == b {
+		t.Error("adjacent streams drew identical values")
+	}
+	var nilNoise *Noise
+	if nilNoise.Stream(3) != nil {
+		t.Error("nil noise should fork to nil")
+	}
+	if z := (&Noise{}).Stream(2).Perturb(4.0); z != 4.0 {
+		t.Errorf("zero-amp stream perturbed: %v", z)
+	}
+}
+
+// TestPerturbConcurrentSafe hammers one shared Noise; run under -race.
+// The draw *values* under contention are unspecified, but each must
+// stay in [1, 1+Amp] and the rng must not corrupt.
+func TestPerturbConcurrentSafe(t *testing.T) {
+	n := NewNoise(0.25, 11)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := n.Perturb(2.0)
+				if v < 2.0 || v > 2.0*(1+0.25) {
+					t.Errorf("Perturb out of bounds: %v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

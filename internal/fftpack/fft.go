@@ -20,7 +20,6 @@ package fftpack
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 )
 
 // Factorize returns the radix decomposition of n into factors of 5, 3,
@@ -48,9 +47,8 @@ func Supported(n int) bool {
 	return err == nil
 }
 
-// cfft computes the complex DFT of x (forward: negative exponent)
-// recursively by Cooley-Tukey decimation in time. It returns a new
-// slice and leaves x unchanged.
+// cfft computes the complex DFT of x through the plan cache. It
+// returns a new slice and leaves x unchanged.
 func cfft(x []complex128, inverse bool) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
@@ -58,48 +56,16 @@ func cfft(x []complex128, inverse bool) []complex128 {
 		out[0] = x[0]
 		return out
 	}
-	fs, err := Factorize(n)
-	if err != nil {
-		panic(err)
+	p := PlanFor(n)
+	sb := getScratch(n)
+	defer putScratch(sb)
+	re, im := sb.a, sb.b
+	for i, v := range x {
+		re[i], im[i] = real(v), imag(v)
 	}
-	work := make([]complex128, n)
-	copy(work, x)
-	res := cfftRec(work, n, 1, fs, inverse)
-	copy(out, res)
-	return out
-}
-
-// cfftRec transforms n elements of x at the given stride.
-func cfftRec(x []complex128, n, stride int, factors []int, inverse bool) []complex128 {
-	if n == 1 {
-		return []complex128{x[0]}
-	}
-	r := factors[0]
-	m := n / r
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// r sub-transforms of length m at stride*r.
-	subs := make([][]complex128, r)
-	for q := 0; q < r; q++ {
-		sub := make([]complex128, m)
-		for k := 0; k < m; k++ {
-			sub[k] = x[(k*r+q)*stride]
-		}
-		subs[q] = cfftRec(sub, m, 1, factors[1:], inverse)
-	}
-	out := make([]complex128, n)
-	for k := 0; k < m; k++ {
-		for p := 0; p < r; p++ {
-			idx := k + p*m
-			var sum complex128
-			for q := 0; q < r; q++ {
-				ang := sign * 2 * math.Pi * float64(q*idx) / float64(n)
-				sum += subs[q][k] * cmplx.Exp(complex(0, ang))
-			}
-			out[idx] = sum
-		}
+	p.execute(re, im, 1, inverse)
+	for i := range out {
+		out[i] = complex(re[i], im[i])
 	}
 	return out
 }
@@ -114,34 +80,13 @@ func Inverse(x []complex128) []complex128 { return cfft(x, true) }
 // RealForward computes the forward transform of a real sequence,
 // returning the n/2+1 non-redundant (Hermitian) coefficients.
 func RealForward(x []float64) []complex128 {
-	n := len(x)
-	cx := make([]complex128, n)
-	for i, v := range x {
-		cx[i] = complex(v, 0)
-	}
-	full := Forward(cx)
-	half := make([]complex128, n/2+1)
-	copy(half, full[:n/2+1])
-	return half
+	return PlanFor(len(x)).RealForward(x)
 }
 
 // RealInverse reconstructs the real sequence of length n from its
 // Hermitian half-spectrum, including the 1/n normalization.
 func RealInverse(h []complex128, n int) []float64 {
-	if len(h) != n/2+1 {
-		panic(fmt.Sprintf("fftpack: half-spectrum length %d for n=%d", len(h), n))
-	}
-	full := make([]complex128, n)
-	copy(full, h)
-	for k := n/2 + 1; k < n; k++ {
-		full[k] = cmplx.Conj(full[n-k])
-	}
-	out := Inverse(full)
-	x := make([]float64, n)
-	for i := range x {
-		x[i] = real(out[i]) / float64(n)
-	}
-	return x
+	return PlanFor(n).RealInverse(h)
 }
 
 // NominalFlops returns the conventional flop count credited to one real

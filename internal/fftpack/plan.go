@@ -1,0 +1,221 @@
+package fftpack
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// A Plan holds everything reusable about a transform of one length:
+// the radix factorization and the per-stage twiddle-factor tables.
+// Building those per call dominated the cost of the old transforms
+// (every twiddle was a fresh sincos); a Plan computes them once and is
+// then safe for concurrent use by any number of goroutines — the
+// tables are read-only and per-call scratch comes from a pool.
+type Plan struct {
+	N       int
+	Factors []int
+	stages  []planStage
+}
+
+// planStage is one radix pass of the autosorting Stockham transform.
+type planStage struct {
+	r, l, rem int // radix; combined sub-transform length; remaining blocks
+	// wre/wim hold the forward-sign twiddles cos/sin(-2π·q·idx/(l·r)),
+	// indexed by q*(l*r)+idx for q in [0,r), idx in [0,l*r). The
+	// inverse transform negates wim (exact under IEEE: the angles are
+	// sign-symmetric and Go's Sin/Cos are odd/even to the bit).
+	wre, wim []float64
+}
+
+// planCache memoizes Plans by length; transforms of the same length —
+// every latitude row of a spectral model, every instance of an FFT
+// sweep — share one Plan.
+var planCache sync.Map // map[int]*Plan
+
+// PlanFor returns the (possibly cached) plan for length n, which must
+// factor into 2s, 3s and 5s.
+func PlanFor(n int) *Plan {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*Plan)
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan)
+}
+
+// NewPlan precomputes the factorization and twiddle tables for length
+// n without touching the shared cache.
+func NewPlan(n int) (*Plan, error) {
+	fs, err := Factorize(n)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{N: n, Factors: fs}
+	l := 1
+	rem := n
+	for _, r := range fs {
+		rem /= r
+		lr := l * r
+		st := planStage{r: r, l: l, rem: rem,
+			wre: make([]float64, r*lr), wim: make([]float64, r*lr)}
+		for q := 0; q < r; q++ {
+			for idx := 0; idx < lr; idx++ {
+				// Computed with the exact expression the twiddles used
+				// before precomputation, so results are bit-identical.
+				ang := -1.0 * 2 * math.Pi * float64(q*idx) / float64(lr)
+				st.wre[q*lr+idx] = math.Cos(ang)
+				st.wim[q*lr+idx] = math.Sin(ang)
+			}
+		}
+		p.stages = append(p.stages, st)
+		l = lr
+	}
+	return p, nil
+}
+
+// scratchBuf is a poolable pair of float64 work arrays. Pooling the
+// struct (rather than raw slices) keeps Get/Put allocation-free: the
+// same header object cycles through the pool.
+type scratchBuf struct {
+	a, b []float64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratchBuf) }}
+
+// getScratch returns a buffer whose a and b slices each hold n
+// elements. Contents are arbitrary; callers must initialize what they
+// read.
+func getScratch(n int) *scratchBuf {
+	sb := scratchPool.Get().(*scratchBuf)
+	if cap(sb.a) < n {
+		sb.a = make([]float64, n)
+		sb.b = make([]float64, n)
+	}
+	sb.a, sb.b = sb.a[:n], sb.b[:n]
+	return sb
+}
+
+func putScratch(sb *scratchBuf) {
+	scratchPool.Put(sb)
+}
+
+// execute runs the transform over m interleaved instances in the
+// a(M,N) layout (instance axis contiguous): the Stockham formulation,
+// all twiddles from the plan's tables. re and im are overwritten.
+func (p *Plan) execute(re, im []float64, m int, inverse bool) {
+	n := p.N
+	if len(re) != n*m || len(im) != n*m {
+		panic(fmt.Sprintf("fftpack: plan length %d applied to %d/%d elements over m=%d",
+			n, len(re), len(im), m))
+	}
+	if n == 1 || m == 0 {
+		return
+	}
+	are, aim := re, im
+	sb := getScratch(n * m)
+	defer putScratch(sb)
+	bre, bim := sb.a, sb.b
+
+	for _, st := range p.stages {
+		r, l, rem, lr := st.r, st.l, st.rem, st.l*st.r
+		for k := 0; k < rem; k++ {
+			for j := 0; j < l; j++ {
+				for q := 0; q < r; q++ {
+					inIdx := ((q*rem+k)*l + j) * m
+					for pp := 0; pp < r; pp++ {
+						idx := j + pp*l
+						wr := st.wre[q*lr+idx]
+						wi := st.wim[q*lr+idx]
+						if inverse {
+							wi = -wi
+						}
+						outIdx := ((k*r+pp)*l + j) * m
+						if q == 0 {
+							// First term initializes the accumulator row
+							// (w = 1 exactly for q == 0, but keep the
+							// multiply so rounding matches the reference
+							// formulation).
+							for t := 0; t < m; t++ {
+								xr, xi := are[inIdx+t], aim[inIdx+t]
+								bre[outIdx+t] = xr*wr - xi*wi
+								bim[outIdx+t] = xr*wi + xi*wr
+							}
+							continue
+						}
+						for t := 0; t < m; t++ {
+							xr, xi := are[inIdx+t], aim[inIdx+t]
+							bre[outIdx+t] += xr*wr - xi*wi
+							bim[outIdx+t] += xr*wi + xi*wr
+						}
+					}
+				}
+			}
+		}
+		are, bre = bre, are
+		aim, bim = bim, aim
+	}
+	if &are[0] != &re[0] {
+		copy(re, are)
+		copy(im, aim)
+	}
+}
+
+// Transform computes the in-place complex DFT of the n split
+// real/imaginary values (single instance).
+func (p *Plan) Transform(re, im []float64, inverse bool) {
+	p.execute(re, im, 1, inverse)
+}
+
+// RealForward computes the forward transform of the real sequence x
+// (len n), returning the n/2+1 non-redundant (Hermitian) coefficients.
+// Only the returned slice is allocated; all intermediates come from
+// the scratch pool.
+func (p *Plan) RealForward(x []float64) []complex128 {
+	n := p.N
+	if len(x) != n {
+		panic(fmt.Sprintf("fftpack: plan length %d applied to %d reals", n, len(x)))
+	}
+	sb := getScratch(n)
+	defer putScratch(sb)
+	re, im := sb.a, sb.b
+	copy(re, x)
+	for i := range im {
+		im[i] = 0
+	}
+	p.execute(re, im, 1, false)
+	half := make([]complex128, n/2+1)
+	for i := range half {
+		half[i] = complex(re[i], im[i])
+	}
+	return half
+}
+
+// RealInverse reconstructs the real sequence of length n from its
+// Hermitian half-spectrum, including the 1/n normalization.
+func (p *Plan) RealInverse(h []complex128) []float64 {
+	n := p.N
+	if len(h) != n/2+1 {
+		panic(fmt.Sprintf("fftpack: half-spectrum length %d for n=%d", len(h), n))
+	}
+	sb := getScratch(n)
+	defer putScratch(sb)
+	re, im := sb.a, sb.b
+	for i, v := range h {
+		re[i], im[i] = real(v), imag(v)
+	}
+	for k := n/2 + 1; k < n; k++ {
+		re[k] = re[n-k]
+		im[k] = -im[n-k]
+	}
+	p.execute(re, im, 1, true)
+	x := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range x {
+		x[i] = re[i] * inv
+	}
+	return x
+}

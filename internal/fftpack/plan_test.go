@@ -1,0 +1,128 @@
+package fftpack
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestPlanMatchesDirect: the plan-table transforms must agree with the
+// naive DFT to the same tolerance the legacy implementation met.
+func TestPlanMatchesDirect(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 8, 12, 15, 30, 64, 120} {
+		p := PlanFor(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(0.7*float64(i)) + 0.3*math.Cos(1.9*float64(i))
+		}
+		got := p.RealForward(x)
+		want := naiveRealDFT(x)
+		for k := range want {
+			if d := cmplxAbs(got[k] - want[k]); d > 1e-9*float64(n) {
+				t.Errorf("n=%d k=%d: plan %v, direct %v", n, k, got[k], want[k])
+			}
+		}
+		back := p.RealInverse(got)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9*float64(n) {
+				t.Errorf("n=%d roundtrip[%d]: %v != %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func naiveRealDFT(x []float64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n/2+1)
+	for k := range out {
+		var s complex128
+		for j, v := range x {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			s += complex(v*math.Cos(ang), v*math.Sin(ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func cmplxAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+// TestPlanForCachesAndRejects: PlanFor memoizes by length and panics on
+// lengths with unsupported prime factors.
+func TestPlanForCachesAndRejects(t *testing.T) {
+	if PlanFor(60) != PlanFor(60) {
+		t.Error("PlanFor(60) returned distinct plans")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PlanFor(7) did not panic")
+		}
+	}()
+	PlanFor(7)
+}
+
+// TestPlanConcurrent: one shared plan serving many goroutines must stay
+// correct (run under -race to check the tables are read-only).
+func TestPlanConcurrent(t *testing.T) {
+	const n = 48
+	p := PlanFor(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	want := p.RealForward(x)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				got := p.RealForward(x)
+				for k := range want {
+					if got[k] != want[k] {
+						t.Errorf("concurrent transform diverged at k=%d", k)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRealForwardAllocs: with the plan warm, RealForward should
+// allocate only its returned half-spectrum.
+func TestRealForwardAllocs(t *testing.T) {
+	const n = 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	p := PlanFor(n)
+	p.RealForward(x) // warm plan and scratch pool
+	allocs := testing.AllocsPerRun(100, func() {
+		p.RealForward(x)
+	})
+	// One alloc for the returned []complex128; allow one more for pool
+	// slack under GC pressure.
+	if allocs > 2 {
+		t.Errorf("RealForward allocates %.1f objects/op, want <= 2", allocs)
+	}
+}
+
+// TestStockhamMultiAllocs: the multi-instance vector transform should
+// not allocate at all once warm (scratch comes from the pool).
+func TestStockhamMultiAllocs(t *testing.T) {
+	const n, m = 64, 8
+	re := make([]float64, n*m)
+	im := make([]float64, n*m)
+	StockhamMulti(re, im, n, m, false) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		StockhamMulti(re, im, n, m, false)
+	})
+	if allocs > 1 {
+		t.Errorf("StockhamMulti allocates %.1f objects/op, want <= 1", allocs)
+	}
+}

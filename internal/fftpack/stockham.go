@@ -1,9 +1,5 @@
 package fftpack
 
-import (
-	"math"
-)
-
 // StockhamMulti computes the forward complex DFT of m independent
 // sequences of length n simultaneously, in the "vector" (VFFT) loop
 // order: the innermost loops run over the instance axis, so every
@@ -13,6 +9,10 @@ import (
 // index p*m+j, i.e. the instance axis is contiguous. The transform is
 // an autosorting Stockham formulation, so no bit-reversal pass is
 // needed. re and im are overwritten with the transform.
+//
+// The twiddle tables and scratch buffers come from the shared plan
+// cache, so repeated transforms of one length neither re-factorize nor
+// re-allocate.
 func StockhamMulti(re, im []float64, n, m int, inverse bool) {
 	if len(re) != n*m || len(im) != n*m {
 		panic("fftpack: StockhamMulti shape mismatch")
@@ -20,57 +20,7 @@ func StockhamMulti(re, im []float64, n, m int, inverse bool) {
 	if n == 1 {
 		return
 	}
-	fs, err := Factorize(n)
-	if err != nil {
-		panic(err)
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Ping-pong buffers.
-	are, aim := re, im
-	bre := make([]float64, n*m)
-	bim := make([]float64, n*m)
-
-	l := 1   // length of already-combined sub-transforms
-	rem := n // elements not yet combined: rem = n / l
-	for _, r := range fs {
-		rem /= r
-		lr := l * r
-		// Combine r sub-transforms of length l into transforms of
-		// length l*r. Input block (q, k, j): index ((q*rem+k)*l + j);
-		// output block (k, p, j): index ((k*r+p)*l + j).
-		for k := 0; k < rem; k++ {
-			for j := 0; j < l; j++ {
-				for p := 0; p < r; p++ {
-					outIdx := ((k*r+p)*l + j) * m
-					// zero the accumulator row
-					for t := 0; t < m; t++ { // vector axis
-						bre[outIdx+t] = 0
-						bim[outIdx+t] = 0
-					}
-					for q := 0; q < r; q++ {
-						ang := sign * 2 * math.Pi * float64(q*(j+p*l)) / float64(lr)
-						wr, wi := math.Cos(ang), math.Sin(ang)
-						inIdx := ((q*rem+k)*l + j) * m
-						for t := 0; t < m; t++ { // vector axis
-							xr, xi := are[inIdx+t], aim[inIdx+t]
-							bre[outIdx+t] += xr*wr - xi*wi
-							bim[outIdx+t] += xr*wi + xi*wr
-						}
-					}
-				}
-			}
-		}
-		are, bre = bre, are
-		aim, bim = bim, aim
-		l = lr
-	}
-	if &are[0] != &re[0] {
-		copy(re, are)
-		copy(im, aim)
-	}
+	PlanFor(n).execute(re, im, m, inverse)
 }
 
 // TransformColsVector computes the real forward transform of m

@@ -1,0 +1,48 @@
+package kernels
+
+import "testing"
+
+func hostInput(n int) []float64 {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%97) - 48
+	}
+	return a
+}
+
+// The HostParallel kernels must produce byte-for-byte the serial Host
+// output for every worker setting, including the GOMAXPROCS default.
+func TestHostParallelMatchesSerial(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		ck := Copy{N: 37, M: 29}
+		a := hostInput(ck.N * ck.M)
+		want := ck.Host(a)
+		got := ck.HostParallel(a, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("COPY workers=%d differs at %d", workers, i)
+			}
+		}
+
+		ik := IA{N: 64, M: 21}
+		ai := hostInput(ik.N * ik.M)
+		indx := Permutation(ik.N, 5)
+		wantI := ik.Host(ai, indx)
+		gotI := ik.HostParallel(ai, indx, workers)
+		for i := range wantI {
+			if gotI[i] != wantI[i] {
+				t.Fatalf("IA workers=%d differs at %d", workers, i)
+			}
+		}
+
+		xk := Xpose{N: 17, M: 9}
+		ax := hostInput(xk.N * xk.N * xk.M)
+		wantX := xk.Host(ax)
+		gotX := xk.HostParallel(ax, workers)
+		for i := range wantX {
+			if gotX[i] != wantX[i] {
+				t.Fatalf("XPOSE workers=%d differs at %d", workers, i)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"sx4bench/internal/core/sched"
 	"sx4bench/internal/fp128"
 	"sx4bench/internal/sx4/commreg"
 )
@@ -55,9 +56,10 @@ type Model struct {
 	dx, dy float64 // grid spacing [m]
 	steps  int
 
-	// HostProcs parallelizes the per-level tracer updates across
-	// goroutines (bit-identical to serial). Zero means serial.
-	HostProcs int
+	// Workers parallelizes the per-level tracer updates across
+	// goroutines (bit-identical to serial for any setting). Zero means
+	// runtime.GOMAXPROCS(0); one forces the serial path.
+	Workers int
 }
 
 // New builds the configuration's initial state: a stratified,
@@ -230,7 +232,7 @@ func (m *Model) convectiveAdjust() int {
 func (m *Model) Step(dt float64) {
 	m.solveBarotropic()
 	u, v := m.velocities()
-	commreg.ParallelFor(m.HostProcs, m.Cfg.NLev, func(k int) {
+	commreg.ParallelFor(sched.Workers(m.Workers), m.Cfg.NLev, func(k int) {
 		// Barotropic advection weakened with depth (crude baroclinic
 		// structure).
 		scale := math.Exp(-2 * float64(k) / float64(m.Cfg.NLev))

@@ -110,7 +110,7 @@ func TestConvectiveAdjustmentMixes(t *testing.T) {
 func TestHostParallelDeterministic(t *testing.T) {
 	a := New(LowRes)
 	b := New(LowRes)
-	b.HostProcs = 4
+	b.Workers = 4
 	dt := a.StableTimeStep()
 	for i := 0; i < 5; i++ {
 		a.Step(dt)

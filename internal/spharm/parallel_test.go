@@ -1,0 +1,46 @@
+package spharm
+
+import "testing"
+
+// The forward (analysis) transforms decompose over wavenumbers with
+// latitude sums kept in ascending-j order, so every worker setting must
+// reproduce the serial result bit for bit.
+func TestParallelForwardBitIdentical(t *testing.T) {
+	tr := New(10, 16, 32)
+	grid := make([]float64, tr.GridLen())
+	for i := range grid {
+		grid[i] = float64(i%13) - 6 + 0.25*float64(i%7)
+	}
+	tr.Workers = 1
+	serial := tr.Forward(grid)
+	for _, workers := range []int{0, 2, 4, 9} {
+		tr.Workers = workers
+		got := tr.Forward(grid)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("Forward workers=%d differs at coefficient %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelForwardDivBitIdentical(t *testing.T) {
+	tr := New(10, 16, 32)
+	A := make([]float64, tr.GridLen())
+	B := make([]float64, tr.GridLen())
+	for i := range A {
+		A[i] = float64(i%11) - 5
+		B[i] = 0.5 * float64(i%17)
+	}
+	tr.Workers = 1
+	serial := tr.ForwardDiv(A, B)
+	for _, workers := range []int{0, 3, 8} {
+		tr.Workers = workers
+		got := tr.ForwardDiv(A, B)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("ForwardDiv workers=%d differs at coefficient %d", workers, i)
+			}
+		}
+	}
+}

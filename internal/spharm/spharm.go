@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"sx4bench/internal/core/sched"
 	"sx4bench/internal/fftpack"
 	"sx4bench/internal/gauss"
 	"sx4bench/internal/sx4/commreg"
@@ -44,10 +45,15 @@ type Transform struct {
 	// laid out by Idx (the n<=T triangle).
 	hbar [][]float64
 
-	// HostProcs parallelizes the synthesis over latitude rows on the
-	// host (bit-identical to serial). Zero means serial.
-	HostProcs int
+	// Workers parallelizes the transforms on the host: the analysis
+	// over wavenumbers, the synthesis and Fourier passes over latitude
+	// rows. Results are bit-identical to serial for any setting. Zero
+	// means runtime.GOMAXPROCS(0); one forces the serial path.
+	Workers int
 }
+
+// workers resolves the knob per the repo-wide convention.
+func (t *Transform) workers() int { return sched.Workers(t.Workers) }
 
 // CanonicalGrid returns the paper's Table 4 grid for a truncation:
 // T42 -> 64x128 ... T170 -> 256x512. For other truncations it returns
@@ -147,14 +153,16 @@ func (t *Transform) fourierRows(grid []float64) [][]complex128 {
 	}
 	rows := make([][]complex128, t.NLat)
 	inv := 1 / float64(t.NLon)
-	for j := 0; j < t.NLat; j++ {
+	// Latitude rows are independent (disjoint writes), so the FFT pass
+	// microtasks across them; each row's values are unchanged.
+	commreg.ParallelFor(t.workers(), t.NLat, func(j int) {
 		h := fftpack.RealForward(grid[j*t.NLon : (j+1)*t.NLon])
 		row := make([]complex128, t.T+1)
 		for m := 0; m <= t.T; m++ {
 			row[m] = h[m] * complex(inv, 0)
 		}
 		rows[j] = row
-	}
+	})
 	return rows
 }
 
@@ -162,15 +170,19 @@ func (t *Transform) fourierRows(grid []float64) [][]complex128 {
 func (t *Transform) Forward(grid []float64) []complex128 {
 	rows := t.fourierRows(grid)
 	spec := make([]complex128, t.SpecLen())
-	for j := 0; j < t.NLat; j++ {
-		wj := complex(t.w[j], 0)
-		for m := 0; m <= t.T; m++ {
-			fm := rows[j][m] * wj
+	// The analysis parallelizes over wavenumber m: each m owns the
+	// disjoint coefficient block Idx(m, m..T), and every coefficient
+	// still accumulates its latitude sum in ascending j — the same
+	// floating-point order as the serial j-outer loop, so the result is
+	// bit-identical for any worker count.
+	commreg.ParallelFor(t.workers(), t.T+1, func(m int) {
+		for j := 0; j < t.NLat; j++ {
+			fm := rows[j][m] * complex(t.w[j], 0)
 			for n := m; n <= t.T; n++ {
 				spec[t.Idx(m, n)] += fm * complex(t.pbar[j][gauss.PbarIdx(t.T, t.T+1, m, n)], 0)
 			}
 		}
-	}
+	})
 	return spec
 }
 
@@ -196,9 +208,9 @@ func (t *Transform) synthesize(spec []complex128, basis func(j, m, n int) float6
 		panic("spharm: spectral length mismatch")
 	}
 	grid := make([]float64, t.GridLen())
-	// Latitude rows are independent: a microtasked loop (HostProcs=1
+	// Latitude rows are independent: a microtasked loop (Workers=1
 	// keeps it serial; results are bit-identical either way).
-	commreg.ParallelFor(t.HostProcs, t.NLat, func(j int) {
+	commreg.ParallelFor(t.workers(), t.NLat, func(j int) {
 		half := make([]complex128, t.NLon/2+1)
 		for m := 0; m <= t.T; m++ {
 			var fm complex128
@@ -224,21 +236,24 @@ func (t *Transform) ForwardDiv(A, B []float64) []complex128 {
 	rowsA := t.fourierRows(A)
 	rowsB := t.fourierRows(B)
 	spec := make([]complex128, t.SpecLen())
-	for j := 0; j < t.NLat; j++ {
-		oneMinus := 1 - t.x[j]*t.x[j]
-		wA := complex(t.w[j]/(t.A*oneMinus), 0)
-		wB := complex(t.w[j]/(t.A*oneMinus), 0)
-		for m := 0; m <= t.T; m++ {
+	// Same decomposition as Forward: wavenumbers own disjoint
+	// coefficient blocks, latitude sums stay in ascending-j order, so
+	// the parallel result is bit-identical to the serial one.
+	commreg.ParallelFor(t.workers(), t.T+1, func(m int) {
+		im := complex(0, float64(m))
+		for j := 0; j < t.NLat; j++ {
+			oneMinus := 1 - t.x[j]*t.x[j]
+			wA := complex(t.w[j]/(t.A*oneMinus), 0)
+			wB := complex(t.w[j]/(t.A*oneMinus), 0)
 			am := rowsA[j][m] * wA
 			bm := rowsB[j][m] * wB
-			im := complex(0, float64(m))
 			for n := m; n <= t.T; n++ {
 				p := complex(t.pbarAt(j, m, n), 0)
 				h := complex(t.hbarAt(j, m, n), 0)
 				spec[t.Idx(m, n)] += im*am*p - bm*h
 			}
 		}
-	}
+	})
 	return spec
 }
 

@@ -43,15 +43,16 @@ func TestSymRoundTripT42(t *testing.T) {
 func TestParallelSynthesisBitIdentical(t *testing.T) {
 	tr := New(10, 16, 32)
 	spec := randomSpec(tr, 31)
+	tr.Workers = 1
 	serial := tr.Inverse(spec)
-	tr.HostProcs = 4
+	tr.Workers = 4
 	parallel := tr.Inverse(spec)
 	for i := range serial {
 		if serial[i] != parallel[i] {
 			t.Fatalf("parallel synthesis differs at %d", i)
 		}
 	}
-	tr.HostProcs = 0
+	tr.Workers = 0
 }
 
 func BenchmarkForwardPlain(b *testing.B) {

@@ -1,0 +1,133 @@
+package sx4
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"sx4bench/internal/sx4/prog"
+)
+
+// The machine model is a pure function: for a fixed configuration, a
+// given (program, RunOpts) pair always simulates to the same Result.
+// The experiment runners exploit no such thing on their own — the
+// KTRIES best-of-k rule re-times every trace k times, and the tables
+// and figures re-time the same COPY/IA/XPOSE/FFT traces at overlapping
+// (N, M) points. The timing cache memoizes evaluations so each
+// distinct trace is simulated once per machine; the jitter the KTRIES
+// rule smooths is applied by core.Noise *outside* the simulation, so
+// caching does not change any reported number.
+
+// runKey identifies one memoizable evaluation.
+type runKey struct {
+	config  uint64 // configuration fingerprint
+	program uint64 // prog.Program fingerprint
+	opts    RunOpts
+}
+
+// CacheStats reports timing-cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate)",
+		s.Hits, s.Misses, 100*s.HitRate())
+}
+
+// timingCache is a concurrency-safe memo of simulated results.
+type timingCache struct {
+	mu     sync.RWMutex
+	m      map[runKey]Result
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newTimingCache() *timingCache {
+	return &timingCache{m: make(map[runKey]Result)}
+}
+
+func (c *timingCache) lookup(k runKey) (Result, bool) {
+	c.mu.RLock()
+	r, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+func (c *timingCache) store(k runKey, r Result) {
+	c.mu.Lock()
+	c.m[k] = r
+	c.mu.Unlock()
+}
+
+func (c *timingCache) stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// configFingerprint hashes every field of the configuration. Any
+// calibration change invalidates all cached timings (the invalidation
+// rule: the key covers the whole config, the whole trace, and the
+// RunOpts; there is nothing else a simulation depends on).
+func configFingerprint(cfg Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", cfg)
+	return h.Sum64()
+}
+
+// SetCache enables or disables timing memoization (enabled by default).
+// Disabling also drops any cached entries; the counters persist.
+func (m *Machine) SetCache(enabled bool) {
+	if enabled {
+		if m.cache == nil {
+			m.cache = newTimingCache()
+		}
+		return
+	}
+	m.cache = nil
+}
+
+// CacheStats returns the machine's timing-cache counters. A machine
+// with caching disabled reports zeros.
+func (m *Machine) CacheStats() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	return m.cache.stats()
+}
+
+// copyResult returns a deep copy so cached Phases cannot be aliased by
+// concurrent callers.
+func copyResult(r Result) Result {
+	out := r
+	out.Phases = append([]PhaseTime(nil), r.Phases...)
+	return out
+}
+
+// runCached consults the memo before simulating, and is safe for
+// concurrent use.
+func (m *Machine) runCached(p prog.Program, opts RunOpts) (Result, bool) {
+	if m.cache == nil {
+		return Result{}, false
+	}
+	k := runKey{config: m.fingerprint, program: p.Fingerprint(), opts: opts}
+	if r, ok := m.cache.lookup(k); ok {
+		return copyResult(r), true
+	}
+	r := m.simulate(p, opts)
+	m.cache.store(k, copyResult(r))
+	return r, true
+}

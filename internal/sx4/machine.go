@@ -84,11 +84,16 @@ func (r Result) PortMBps() float64 {
 	return float64(r.Words*8) / r.Seconds / 1e6
 }
 
-// Machine executes operation traces against an SX-4 configuration.
+// Machine executes operation traces against an SX-4 configuration. It
+// is safe for concurrent use: runs are pure functions of the (immutable
+// after New) configuration, and the timing memo is concurrency-safe.
 type Machine struct {
 	cfg       Config
 	mem       membank.System
 	intrinsic [prog.NumIntrinsics]float64 // clocks per element
+
+	fingerprint uint64       // configFingerprint(cfg), cache key part
+	cache       *timingCache // memoized trace timings; nil disables
 }
 
 // New returns a machine for the given configuration.
@@ -111,6 +116,8 @@ func New(cfg Config) *Machine {
 			m.intrinsic[i] *= cfg.IntrinsicScale
 		}
 	}
+	m.fingerprint = configFingerprint(cfg)
+	m.cache = newTimingCache()
 	return m
 }
 
@@ -228,8 +235,17 @@ func (c tripCost) memBound() bool {
 		c.memBusy >= c.issue && c.memBusy >= c.intr && c.memBusy > 0
 }
 
-// Run simulates the program on the machine.
+// Run simulates the program on the machine. Identical (program, opts)
+// pairs are served from the timing memo after the first evaluation.
 func (m *Machine) Run(p prog.Program, opts RunOpts) Result {
+	if r, ok := m.runCached(p, opts); ok {
+		return r
+	}
+	return m.simulate(p, opts)
+}
+
+// simulate evaluates the machine model without consulting the memo.
+func (m *Machine) simulate(p prog.Program, opts RunOpts) Result {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}

@@ -1,0 +1,45 @@
+package prog
+
+import "testing"
+
+func TestFingerprintDeterministic(t *testing.T) {
+	p := Simple("fp", 10,
+		Op{Class: VLoad, VL: 100, Stride: 1},
+		Op{Class: VMul, VL: 100},
+	)
+	q := Simple("fp", 10,
+		Op{Class: VLoad, VL: 100, Stride: 1},
+		Op{Class: VMul, VL: 100},
+	)
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Error("structurally identical programs fingerprint differently")
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := Simple("fp", 10, Op{Class: VLoad, VL: 100, Stride: 1})
+	variants := []Program{
+		Simple("fp2", 10, Op{Class: VLoad, VL: 100, Stride: 1}),  // name
+		Simple("fp", 11, Op{Class: VLoad, VL: 100, Stride: 1}),   // trips
+		Simple("fp", 10, Op{Class: VLoad, VL: 101, Stride: 1}),   // VL
+		Simple("fp", 10, Op{Class: VLoad, VL: 100, Stride: 2}),   // stride
+		Simple("fp", 10, Op{Class: VStore, VL: 100, Stride: 1}),  // class
+		Simple("fp", 10, Op{Class: VGather, VL: 100, Span: 100}), // span
+	}
+	seen := map[uint64]int{base.Fingerprint(): -1}
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variant %d collides with %d", i, prev)
+		}
+		seen[fp] = i
+	}
+
+	// Field boundaries must not smear: a phase with SerialClocks=1 and
+	// Barriers=0 differs from Barriers=1, SerialClocks=0.
+	a := Program{Name: "x", Phases: []Phase{{Name: "p", Barriers: 1}}}
+	b := Program{Name: "x", Phases: []Phase{{Name: "p", SerialClocks: 1}}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("barrier/serial-clock fields collide")
+	}
+}

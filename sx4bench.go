@@ -18,6 +18,7 @@ import (
 	"io"
 
 	"sx4bench/internal/core"
+	"sx4bench/internal/core/sched"
 	"sx4bench/internal/ncar"
 	"sx4bench/internal/sx4"
 )
@@ -156,15 +157,30 @@ func RunExperiment(w io.Writer, m *Machine, id string) error {
 	return fmt.Errorf("sx4bench: unknown experiment %q (known: %v)", id, Experiments())
 }
 
-// RunAll regenerates every experiment in order.
+// RunAll regenerates every experiment in order, fanning the work
+// across runtime.GOMAXPROCS(0) workers. The output stream is
+// byte-identical to running the experiments serially.
 func RunAll(w io.Writer, m *Machine) error {
+	return RunAllWorkers(w, m, 0)
+}
+
+// RunAllWorkers is RunAll with an explicit worker count (the repo
+// convention: 0 means GOMAXPROCS, 1 the plain serial loop). Every
+// experiment's output is buffered and emitted in the canonical
+// Experiments() order, so the stream is byte-identical for every
+// worker count; an experiment's error does not cancel the others, and
+// the first failing experiment (in order) determines where the stream
+// stops and which error is returned — exactly the serial behaviour.
+func RunAllWorkers(w io.Writer, m *Machine, workers int) error {
+	var tasks []sched.Task
 	for _, id := range Experiments() {
-		if _, err := fmt.Fprintf(w, "\n=== %s ===\n", id); err != nil {
-			return err
-		}
-		if err := RunExperiment(w, m, id); err != nil {
-			return err
-		}
+		id := id
+		tasks = append(tasks, sched.Task{ID: id, Run: func(tw io.Writer) error {
+			if _, err := fmt.Fprintf(tw, "\n=== %s ===\n", id); err != nil {
+				return err
+			}
+			return RunExperiment(tw, m, id)
+		}})
 	}
-	return nil
+	return sched.Stream(w, workers, tasks)
 }

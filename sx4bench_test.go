@@ -72,6 +72,42 @@ func TestRunAllOutput(t *testing.T) {
 	}
 }
 
+// TestRunAllParallelMatchesSerial is the engine's golden test: for any
+// worker count the full experiment stream must be byte-identical to
+// the serial run — same experiments, same order, same text.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	var serial bytes.Buffer
+	if err := sx4bench.RunAllWorkers(&serial, sx4bench.Benchmarked(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		var parallel bytes.Buffer
+		if err := sx4bench.RunAllWorkers(&parallel, sx4bench.Benchmarked(), workers); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+			a, b := serial.String(), parallel.String()
+			i := 0
+			for i < len(a) && i < len(b) && a[i] == b[i] {
+				i++
+			}
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("workers=%d output differs from serial at byte %d: %q vs %q",
+				workers, i, a[lo:minLen(i+40, len(a))], b[lo:minLen(i+40, len(b))])
+		}
+	}
+}
+
+func minLen(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 func TestProductionClockClaim(t *testing.T) {
 	// The paper: "We anticipate that an additional 15% performance
 	// improvement can be realized with some code tuning and running on
