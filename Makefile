@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-baseline ci examples figures report clean
+.PHONY: all build vet test test-short race bench bench-baseline ci examples figures report clean goldens goldens-check fuzz-smoke cover
 
 all: build vet test
 
@@ -24,12 +24,35 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# What CI runs (see .github/workflows/ci.yml): vet, build, and the
-# full test suite under the race detector.
+# What CI runs (see .github/workflows/ci.yml): vet, build, the full
+# test suite under the race detector, and the golden-artifact check.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/goldens
+
+# Regenerate the golden artifacts in internal/check/testdata/goldens
+# after an intentional model change; review `git diff` before
+# committing. goldens-check verifies without writing (what CI runs).
+goldens:
+	$(GO) run ./cmd/goldens -update
+
+goldens-check:
+	$(GO) run ./cmd/goldens
+
+# Run each native fuzz target briefly (no new corpus is committed);
+# any panic or property violation fails the target.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzProgramFingerprint$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzMachineRun$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzReportParse$$' -fuzztime $(FUZZTIME)
+
+# Aggregate statement coverage across all packages.
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # Record the benchmark baseline (including the serial-vs-parallel
 # RunAll wall-clock pair) as BENCH_BASELINE.json.

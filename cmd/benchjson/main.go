@@ -2,7 +2,8 @@
 // into a JSON baseline file. Each benchmark line becomes one record
 // with ns/op, allocation counters and any custom metrics; the header's
 // goos/goarch/cpu context rides along, and the RunAll serial/parallel
-// pair is summarized as a speedup ratio when both are present.
+// pair is summarized as a speedup ratio when both are present. The
+// parsing lives in internal/benchjson.
 //
 // Usage:
 //
@@ -10,41 +11,19 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"sx4bench/internal/benchjson"
 )
-
-// Result is one benchmark line.
-type Result struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Baseline is the file layout.
-type Baseline struct {
-	GOOS       string   `json:"goos,omitempty"`
-	GOARCH     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-	// RunAllSpeedup is serial ns/op divided by parallel ns/op for the
-	// BenchmarkRunAllSerial / BenchmarkRunAllParallel pair.
-	RunAllSpeedup float64 `json:"runall_parallel_speedup,omitempty"`
-}
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	b, err := parse(bufio.NewScanner(os.Stdin))
+	b, err := benchjson.Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -63,86 +42,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-}
-
-func parse(sc *bufio.Scanner) (Baseline, error) {
-	var b Baseline
-	var serial, parallel float64
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			b.GOOS = strings.TrimPrefix(line, "goos: ")
-			continue
-		case strings.HasPrefix(line, "goarch: "):
-			b.GOARCH = strings.TrimPrefix(line, "goarch: ")
-			continue
-		case strings.HasPrefix(line, "cpu: "):
-			b.CPU = strings.TrimPrefix(line, "cpu: ")
-			continue
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		r, ok := parseLine(line)
-		if !ok {
-			continue
-		}
-		b.Benchmarks = append(b.Benchmarks, r)
-		switch strings.SplitN(r.Name, "-", 2)[0] {
-		case "BenchmarkRunAllSerial":
-			serial = r.NsPerOp
-		case "BenchmarkRunAllParallel":
-			parallel = r.NsPerOp
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return b, err
-	}
-	if len(b.Benchmarks) == 0 {
-		return b, fmt.Errorf("no benchmark lines on stdin")
-	}
-	if serial > 0 && parallel > 0 {
-		b.RunAllSpeedup = serial / parallel
-	}
-	return b, nil
-}
-
-// parseLine reads one "BenchmarkX-8  123  456 ns/op  7 B/op ..." line.
-func parseLine(line string) (Result, bool) {
-	f := strings.Fields(line)
-	if len(f) < 4 {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: f[0], Iterations: iters}
-	// Remaining fields come in "<value> <unit>" pairs.
-	for i := 2; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		switch unit := f[i+1]; unit {
-		case "ns/op":
-			r.NsPerOp = v
-		case "B/op":
-			n := int64(v)
-			r.BytesPerOp = &n
-		case "allocs/op":
-			n := int64(v)
-			r.AllocsPerOp = &n
-		default:
-			if r.Metrics == nil {
-				r.Metrics = map[string]float64{}
-			}
-			r.Metrics[unit] = v
-		}
-	}
-	if r.NsPerOp == 0 && r.Metrics == nil {
-		return Result{}, false
-	}
-	return r, true
 }

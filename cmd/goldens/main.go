@@ -1,0 +1,67 @@
+// Command goldens maintains the golden-artifact files backing the
+// differential verification suite in internal/check. With no flags it
+// verifies every artifact against the committed goldens and exits
+// non-zero on any drift; -update regenerates the files after an
+// intentional model change (then inspect `git diff` before committing).
+//
+// Usage:
+//
+//	go run ./cmd/goldens            # verify, exit 1 on mismatch
+//	go run ./cmd/goldens -update    # rewrite changed goldens
+//	go run ./cmd/goldens -list      # print the artifact ids
+//
+// Run from the repository root, or point -dir at the golden directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sx4bench/internal/check"
+)
+
+func main() {
+	dir := flag.String("dir", check.DefaultDir, "golden directory")
+	update := flag.Bool("update", false, "rewrite goldens that differ")
+	list := flag.Bool("list", false, "list artifact ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range check.Artifacts() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if *update {
+		changed, err := check.Update(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "goldens:", err)
+			os.Exit(1)
+		}
+		if len(changed) == 0 {
+			fmt.Printf("goldens: %d artifacts up to date in %s\n", len(check.Artifacts()), *dir)
+			return
+		}
+		for _, id := range changed {
+			fmt.Println("updated", check.GoldenPath(*dir, id))
+		}
+		return
+	}
+
+	mismatches, err := check.Verify(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldens:", err)
+		os.Exit(1)
+	}
+	if len(mismatches) == 0 {
+		fmt.Printf("goldens: %d artifacts match %s\n", len(check.Artifacts()), *dir)
+		return
+	}
+	for _, m := range mismatches {
+		fmt.Fprintln(os.Stderr, "goldens:", m)
+	}
+	fmt.Fprintln(os.Stderr, "goldens: run `make goldens` if the change is intentional")
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Package benchjson parses `go test -bench` text output into the
+// BENCH_BASELINE.json baseline layout. It is the library behind
+// cmd/benchjson, split out so the parser is testable and fuzzable (the
+// FuzzReportParse target in internal/check drives it with arbitrary
+// input): benchmark reports arrive from shell pipelines and must never
+// panic the converter, however mangled.
+package benchjson
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the file layout.
+type Baseline struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+	// RunAllSpeedup is serial ns/op divided by parallel ns/op for the
+	// BenchmarkRunAllSerial / BenchmarkRunAllParallel pair.
+	RunAllSpeedup float64 `json:"runall_parallel_speedup,omitempty"`
+}
+
+// Parse reads `go test -bench` text output and collects every
+// benchmark line, the goos/goarch/cpu header context, and the RunAll
+// serial/parallel speedup summary. Unparseable lines are skipped, as
+// `go test` interleaves benchmark lines with test chatter; an input
+// with no benchmark lines at all is an error.
+func Parse(r io.Reader) (Baseline, error) {
+	var b Baseline
+	var serial, parallel float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			b.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			b.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			b.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := ParseLine(line)
+		if !ok {
+			continue
+		}
+		b.Benchmarks = append(b.Benchmarks, r)
+		switch strings.SplitN(r.Name, "-", 2)[0] {
+		case "BenchmarkRunAllSerial":
+			serial = r.NsPerOp
+		case "BenchmarkRunAllParallel":
+			parallel = r.NsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return b, err
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("no benchmark lines on stdin")
+	}
+	if serial > 0 && parallel > 0 {
+		b.RunAllSpeedup = serial / parallel
+	}
+	return b, nil
+}
+
+// ParseLine reads one "BenchmarkX-8  123  456 ns/op  7 B/op ..." line.
+func ParseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iterations: iters}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			// ParseFloat accepts "NaN" and "Inf", which a benchmark
+			// line never legitimately contains and which would poison
+			// the JSON baseline (json.Marshal rejects non-finite).
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			n := int64(v)
+			r.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			r.AllocsPerOp = &n
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	if r.NsPerOp == 0 && r.Metrics == nil {
+		return Result{}, false
+	}
+	return r, true
+}

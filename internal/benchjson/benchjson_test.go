@@ -1,0 +1,99 @@
+package benchjson
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sx4bench
+cpu: Xeon
+BenchmarkRADABS-8   	     100	  11983456 ns/op	      876 mflops
+BenchmarkRunAllSerial-8	       5	 200000000 ns/op	 1024 B/op	       3 allocs/op
+BenchmarkRunAllParallel-8	      10	 100000000 ns/op
+some test chatter
+PASS
+`
+
+func TestParseSample(t *testing.T) {
+	b, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GOOS != "linux" || b.GOARCH != "amd64" || b.CPU != "Xeon" {
+		t.Errorf("header context = %q/%q/%q", b.GOOS, b.GOARCH, b.CPU)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(b.Benchmarks))
+	}
+	rad := b.Benchmarks[0]
+	if rad.Name != "BenchmarkRADABS-8" || rad.Iterations != 100 || rad.NsPerOp != 11983456 {
+		t.Errorf("RADABS line parsed as %+v", rad)
+	}
+	if rad.Metrics["mflops"] != 876 {
+		t.Errorf("custom metric = %v, want 876", rad.Metrics)
+	}
+	serial := b.Benchmarks[1]
+	if serial.BytesPerOp == nil || *serial.BytesPerOp != 1024 ||
+		serial.AllocsPerOp == nil || *serial.AllocsPerOp != 3 {
+		t.Errorf("alloc counters parsed as %+v", serial)
+	}
+	if math.Abs(b.RunAllSpeedup-2.0) > 1e-12 {
+		t.Errorf("RunAllSpeedup = %v, want 2.0", b.RunAllSpeedup)
+	}
+}
+
+func TestParseEmptyErrors(t *testing.T) {
+	for _, in := range []string{"", "PASS\nok\n", "goos: linux\n"} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted input with no benchmark lines", in)
+		}
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"BenchmarkX",                     // too few fields
+		"BenchmarkX ten 5 ns/op",         // non-numeric iterations
+		"BenchmarkX 10 five ns/op",       // non-numeric value
+		"BenchmarkX 10 5 widgets extra",  // no ns/op or metric pair parsed -> metrics
+		"BenchmarkX 10 0 ns/op",          // zero ns/op and no metrics
+	}
+	for _, line := range bad[:3] {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("ParseLine(%q) accepted malformed line", line)
+		}
+	}
+	if _, ok := ParseLine(bad[4]); ok {
+		t.Errorf("ParseLine(%q) accepted zero-information line", bad[4])
+	}
+}
+
+func TestParseLineRejectsNonFinite(t *testing.T) {
+	// ParseFloat accepts NaN/Inf spellings; the parser must not, or the
+	// JSON baseline becomes unserializable (found by FuzzReportParse).
+	for _, line := range []string{
+		"Benchmark 0 NAN 0",
+		"BenchmarkX-8 10 Inf ns/op",
+		"BenchmarkX-8 10 5 ns/op -Inf widgets",
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("ParseLine(%q) accepted a non-finite value", line)
+		}
+	}
+}
+
+func TestParseLineVeryLongLine(t *testing.T) {
+	// The scanner buffer must survive long single lines (wide CPU
+	// strings, huge metric lists) without erroring out.
+	line := "BenchmarkLong-8 10 5 ns/op" + strings.Repeat(" 1 m/op", 5000)
+	b, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatalf("long line: %v", err)
+	}
+	if len(b.Benchmarks) != 1 {
+		t.Fatalf("long line parsed %d benchmarks", len(b.Benchmarks))
+	}
+}

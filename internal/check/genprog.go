@@ -1,0 +1,132 @@
+package check
+
+import (
+	"sx4bench/internal/sx4"
+	"sx4bench/internal/sx4/prog"
+)
+
+// byteReader consumes a fuzz-input byte slice one value at a time,
+// returning zeros once exhausted so any prefix of a valid input is also
+// a valid input (the shape Go's fuzz mutator exploits best).
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *byteReader) uint16() int {
+	return int(r.byte())<<8 | int(r.byte())
+}
+
+// rangeInt maps one byte onto [lo, hi] inclusive.
+func (r *byteReader) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int(r.byte())%(hi-lo+1)
+}
+
+// pick selects one element of choices from one byte.
+func pick(r *byteReader, choices []int) int {
+	return choices[int(r.byte())%len(choices)]
+}
+
+// DecodeProgram interprets arbitrary bytes as a structurally valid
+// operation trace: every program it returns passes prog.Validate, so
+// fuzz targets exercise the machine model rather than the validator.
+// The construction is total — any byte slice, including empty, decodes
+// to some program — and deterministic, so equal inputs give equal
+// (and equal-fingerprint) programs.
+func DecodeProgram(data []byte) prog.Program {
+	r := &byteReader{data: data}
+	p := prog.Program{Name: "fuzz"}
+	nPhases := r.rangeInt(1, 3)
+	for i := 0; i < nPhases; i++ {
+		ph := prog.Phase{
+			Name:     "phase",
+			Parallel: r.byte()%2 == 0,
+			Barriers: r.rangeInt(0, 2),
+		}
+		if r.byte()%4 == 0 {
+			ph.SerialClocks = float64(r.uint16())
+		}
+		nLoops := r.rangeInt(0, 2)
+		for j := 0; j < nLoops; j++ {
+			l := prog.Loop{Trips: int64(r.rangeInt(0, 1000))}
+			nOps := r.rangeInt(1, 5)
+			for k := 0; k < nOps; k++ {
+				l.Body = append(l.Body, decodeOp(r))
+			}
+			ph.Loops = append(ph.Loops, l)
+		}
+		p.Phases = append(p.Phases, ph)
+	}
+	return p
+}
+
+func decodeOp(r *byteReader) prog.Op {
+	op := prog.Op{Class: prog.Class(int(r.byte()) % 10)}
+	switch op.Class {
+	case prog.Scalar:
+		op.Count = r.rangeInt(1, 500)
+	default:
+		op.VL = 1 + r.uint16()%4096
+	}
+	switch {
+	case op.Class == prog.VLoad || op.Class == prog.VStore:
+		// Strides from -8..8 cover contiguous, stride-2 and the
+		// conflict-prone odd/even cases; 0 behaves as broadcast.
+		op.Stride = r.rangeInt(-8, 8)
+	case op.Class.IsIndirect():
+		op.Span = r.rangeInt(0, 1<<14)
+	case op.Class == prog.VIntrinsic:
+		op.Intr = prog.Intrinsic(int(r.byte()) % prog.NumIntrinsics)
+	}
+	if r.byte()%8 == 0 {
+		op.FlopsPerElem = r.rangeInt(1, 4)
+	}
+	return op
+}
+
+// DecodeCase interprets arbitrary bytes as a complete model input: a
+// valid machine configuration, a valid program, and run options. The
+// configuration starts from the paper's benchmarked system and perturbs
+// the performance-relevant axes within hardware-plausible bounds. The
+// bounds keep MemoryBanks >= VectorPipes*BankBusyClocks, so the
+// bank-conflict model's conflict-free window never degenerates.
+func DecodeCase(data []byte) (sx4.Config, prog.Program, sx4.RunOpts) {
+	r := &byteReader{data: data}
+	cfg := sx4.Benchmarked()
+	cfg.ClockNS = []float64{9.2, 8.0, 4.0, 16.0}[int(r.byte())%4]
+	cfg.CPUs = r.rangeInt(1, 32)
+	cfg.Nodes = r.rangeInt(1, 16)
+	cfg.VectorPipes = pick(r, []int{1, 2, 4, 8, 16})
+	cfg.VectorRegElems = pick(r, []int{64, 128, 256, 512})
+	cfg.MemoryBanks = pick(r, []int{64, 128, 256, 512, 1024})
+	cfg.BankBusyClocks = pick(r, []int{1, 2, 4})
+	cfg.PortWordsPerClock = pick(r, []int{4, 8, 16, 32})
+	cfg.NodeWordsPerClock = pick(r, []int{128, 256, 512, 1024})
+	cfg.VectorStartupClocks = r.rangeInt(0, 64)
+	cfg.MemStartupClocks = r.rangeInt(0, 128)
+	cfg.GatherWordsPerClock = []float64{0.5, 1, 2, 4}[int(r.byte())%4]
+	cfg.StridedPenalty = []float64{1, 1.5, 2.5, 4}[int(r.byte())%4]
+	cfg.IntrinsicScale = []float64{0, 0.5, 1, 2}[int(r.byte())%4]
+	cfg.ScalarIssuePerClock = pick(r, []int{1, 2, 4})
+	cfg.LoopOverheadClocks = float64(r.rangeInt(0, 32))
+	cfg.InterferenceFrac = []float64{0, 0.019, 0.1}[int(r.byte())%3]
+
+	opts := sx4.RunOpts{
+		Procs:      r.rangeInt(0, 32),
+		ActiveCPUs: r.rangeInt(0, 32),
+	}
+	p := DecodeProgram(data[r.pos:])
+	return cfg, p, opts
+}

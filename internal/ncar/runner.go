@@ -14,6 +14,9 @@ import (
 // and writes its results: the library-side implementation of the
 // ncarbench command.
 func RunBenchmark(w io.Writer, m *sx4.Machine, name string, cpus int) error {
+	if m == nil {
+		return fmt.Errorf("ncar: nil machine for benchmark %q", name)
+	}
 	if _, err := ByName(name); err != nil {
 		return err
 	}

@@ -29,6 +29,10 @@ type runKey struct {
 // CacheStats reports timing-cache effectiveness counters.
 type CacheStats struct {
 	Hits, Misses uint64
+	// Entries is the number of memoized results currently held. Every
+	// held entry is keyed on the machine's current config fingerprint:
+	// SetConfig and SetCache sweep out entries keyed on a stale one.
+	Entries int
 }
 
 // HitRate returns the fraction of lookups served from the cache.
@@ -40,8 +44,8 @@ func (s CacheStats) HitRate() float64 {
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate)",
-		s.Hits, s.Misses, 100*s.HitRate())
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d entries",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
 }
 
 // timingCache is a concurrency-safe memo of simulated results.
@@ -75,7 +79,25 @@ func (c *timingCache) store(k runKey, r Result) {
 }
 
 func (c *timingCache) stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// dropStale deletes every memoized entry whose key carries a config
+// fingerprint other than current. Such entries can never be looked up
+// again (the current fingerprint is part of every future key), so after
+// a reconfiguration they are pure dead weight — and, worse, a coherence
+// hazard should the fingerprint field ever go stale alongside them.
+func (c *timingCache) dropStale(current uint64) {
+	c.mu.Lock()
+	for k := range c.m {
+		if k.config != current {
+			delete(c.m, k)
+		}
+	}
+	c.mu.Unlock()
 }
 
 // configFingerprint hashes every field of the configuration. Any
@@ -88,13 +110,39 @@ func configFingerprint(cfg Config) uint64 {
 	return h.Sum64()
 }
 
+// SetConfig reconfigures the machine in place (the calibration-sweep
+// API: one machine, many candidate configurations, no reallocation).
+// All derived state — the memory system, the intrinsic cost table, the
+// cache-key fingerprint — is rebuilt, and memoized timings keyed on the
+// old configuration fingerprint are dropped so the memo can never serve
+// a result simulated under a different configuration. An invalid cfg is
+// returned as an error and leaves the machine unchanged.
+//
+// Like SetCache, SetConfig must not race with concurrent Run calls:
+// configure first, then share.
+func (m *Machine) SetConfig(cfg Config) error {
+	if err := m.setConfig(cfg); err != nil {
+		return err
+	}
+	if m.cache != nil {
+		m.cache.dropStale(m.fingerprint)
+	}
+	return nil
+}
+
 // SetCache enables or disables timing memoization (enabled by default).
 // Disabling also drops any cached entries; the counters persist.
+// Re-enabling over a live cache keeps entries keyed on the machine's
+// current config fingerprint and sweeps out any stale ones, so a warm
+// cache stays coherent across reconfiguration (the SetConfig /
+// SetCache(true) sequence in either order).
 func (m *Machine) SetCache(enabled bool) {
 	if enabled {
 		if m.cache == nil {
 			m.cache = newTimingCache()
+			return
 		}
+		m.cache.dropStale(m.fingerprint)
 		return
 	}
 	m.cache = nil

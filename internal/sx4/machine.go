@@ -98,27 +98,36 @@ type Machine struct {
 
 // New returns a machine for the given configuration.
 func New(cfg Config) *Machine {
-	if err := cfg.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.setConfig(cfg); err != nil {
 		panic(err)
 	}
-	m := &Machine{
-		cfg: cfg,
-		mem: membank.System{
-			Banks:          cfg.MemoryBanks,
-			BusyClocks:     cfg.BankBusyClocks,
-			Pipes:          cfg.VectorPipes,
-			StridedPenalty: cfg.StridedPenalty,
-		},
-		intrinsic: DefaultIntrinsicClocks,
+	m.cache = newTimingCache()
+	return m
+}
+
+// setConfig validates cfg and (re)derives every configuration-dependent
+// field: the memory system, the intrinsic cost table, and the cache-key
+// fingerprint. On error the machine is left unchanged.
+func (m *Machine) setConfig(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
+	m.cfg = cfg
+	m.mem = membank.System{
+		Banks:          cfg.MemoryBanks,
+		BusyClocks:     cfg.BankBusyClocks,
+		Pipes:          cfg.VectorPipes,
+		StridedPenalty: cfg.StridedPenalty,
+	}
+	m.intrinsic = DefaultIntrinsicClocks
 	if cfg.IntrinsicScale > 0 {
 		for i := range m.intrinsic {
 			m.intrinsic[i] *= cfg.IntrinsicScale
 		}
 	}
 	m.fingerprint = configFingerprint(cfg)
-	m.cache = newTimingCache()
-	return m
+	return nil
 }
 
 // Config returns the machine's configuration.

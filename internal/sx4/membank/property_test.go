@@ -1,0 +1,85 @@
+package membank
+
+import (
+	"math"
+	"testing"
+)
+
+// geometries spans the hardware-plausible configuration space the
+// differential verification suite's fuzz decoder draws from (plus the
+// real SX-4 geometry), so the factor invariants below are checked on
+// every machine the fuzz targets can construct, not just the default.
+func geometries() []System {
+	var out []System
+	for _, banks := range []int{64, 128, 256, 512, 1024} {
+		for _, busy := range []int{1, 2, 4} {
+			for _, pipes := range []int{1, 2, 4, 8, 16} {
+				for _, pen := range []float64{0, 1, 2.5} {
+					out = append(out, System{
+						Banks: banks, BusyClocks: busy,
+						Pipes: pipes, StridedPenalty: pen,
+					})
+				}
+			}
+		}
+	}
+	return append(out, NewSX4())
+}
+
+// TestPropertyFactorsAtLeastOne: on every plausible geometry, no access
+// pattern may ever be modeled as faster than the ideal pipe rate —
+// every slowdown factor is finite and >= 1.
+func TestPropertyFactorsAtLeastOne(t *testing.T) {
+	spans := []int{0, 1, 7, 63, 64, 65, 1000, 1 << 14}
+	rates := []float64{0.5, 1, 2, 4}
+	for _, s := range geometries() {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("geometry %+v invalid: %v", s, err)
+		}
+		for stride := -40; stride <= 40; stride++ {
+			f := s.StrideFactor(stride)
+			if math.IsNaN(f) || math.IsInf(f, 0) || f < 1 {
+				t.Fatalf("%+v: StrideFactor(%d) = %v", s, stride, f)
+			}
+		}
+		for _, rate := range rates {
+			for _, span := range spans {
+				g := s.GatherFactor(rate, span)
+				if math.IsNaN(g) || math.IsInf(g, 0) || g < 1 {
+					t.Fatalf("%+v: GatherFactor(%v, %d) = %v", s, rate, span, g)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyGuaranteedStridesConflictFree: the paper's conflict-free
+// guarantee for unit and stride-2 access (and broadcast) holds on every
+// geometry, independent of bank count or penalty setting.
+func TestPropertyGuaranteedStridesConflictFree(t *testing.T) {
+	for _, s := range geometries() {
+		for _, stride := range []int{0, 1, -1, 2, -2} {
+			if f := s.StrideFactor(stride); f != 1 {
+				t.Fatalf("%+v: StrideFactor(%d) = %v, want exactly 1", s, stride, f)
+			}
+		}
+	}
+}
+
+// TestPropertyContentionFloor: node contention never speeds a run up,
+// and is exactly 1 whenever demand fits the banked capacity.
+func TestPropertyContentionFloor(t *testing.T) {
+	for _, s := range geometries() {
+		cap := s.CapacityWordsPerClock()
+		for _, demand := range []float64{0, 1, cap / 2, cap, cap * 1.5, cap * 32} {
+			f := s.ContentionFactor(demand, cap)
+			if f < 1 || math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("%+v: ContentionFactor(%v, %v) = %v", s, demand, cap, f)
+			}
+			if demand <= cap && f != 1 {
+				t.Fatalf("%+v: contention %v charged though demand %v fits capacity %v",
+					s, f, demand, cap)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package prog
+
+import (
+	"reflect"
+	"testing"
+)
+
+func cloneFixture() Program {
+	return Program{
+		Name: "fixture",
+		Phases: []Phase{
+			{Name: "a", Parallel: true, Barriers: 1, Loops: []Loop{
+				{Trips: 10, Body: []Op{
+					{Class: VLoad, VL: 256, Stride: 1},
+					{Class: VAdd, VL: 256},
+					{Class: VStore, VL: 256, Stride: 2},
+				}},
+			}},
+			{Name: "b", SerialClocks: 100, Loops: []Loop{
+				{Trips: 3, Body: []Op{{Class: Scalar, Count: 40}}},
+			}},
+		},
+	}
+}
+
+func TestCloneEqualAndIndependent(t *testing.T) {
+	p := cloneFixture()
+	c := p.Clone()
+	if !reflect.DeepEqual(p, c) {
+		t.Fatalf("clone differs:\n%+v\n%+v", p, c)
+	}
+	if p.Fingerprint() != c.Fingerprint() {
+		t.Error("clone fingerprints differ")
+	}
+	c.Phases[0].Loops[0].Body[1].VL = 7
+	c.Phases[1].Loops[0].Trips = 99
+	if p.Phases[0].Loops[0].Body[1].VL != 256 || p.Phases[1].Loops[0].Trips != 3 {
+		t.Error("mutating the clone mutated the original: slices shared")
+	}
+	if p.Fingerprint() == c.Fingerprint() {
+		t.Error("structural mutation did not change the fingerprint")
+	}
+}
+
+func TestCloneEmpty(t *testing.T) {
+	var p Program
+	c := p.Clone()
+	if !reflect.DeepEqual(p, c) {
+		t.Errorf("zero-value clone differs: %+v vs %+v", p, c)
+	}
+	if p.Fingerprint() != c.Fingerprint() {
+		t.Error("zero-value fingerprints differ")
+	}
+}

@@ -238,6 +238,33 @@ func (p Program) Words() int64 {
 // Bytes returns the program's memory traffic in bytes (64-bit words).
 func (p Program) Bytes() int64 { return 8 * p.Words() }
 
+// Clone returns a structurally identical deep copy: no slice is shared
+// with the receiver. Clones fingerprint and execute identically to the
+// original, which is what the differential verification suite uses to
+// check fingerprint/run-cache coherence.
+func (p Program) Clone() Program {
+	out := Program{Name: p.Name}
+	if p.Phases == nil {
+		return out
+	}
+	out.Phases = make([]Phase, len(p.Phases))
+	for i, ph := range p.Phases {
+		cp := ph
+		if ph.Loops != nil {
+			cp.Loops = make([]Loop, len(ph.Loops))
+			for j, l := range ph.Loops {
+				cl := l
+				if l.Body != nil {
+					cl.Body = append([]Op(nil), l.Body...)
+				}
+				cp.Loops[j] = cl
+			}
+		}
+		out.Phases[i] = cp
+	}
+	return out
+}
+
 // Simple wraps a single parallel phase with one loop, a common case for
 // kernels.
 func Simple(name string, trips int64, body ...Op) Program {
