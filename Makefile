@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-baseline ci examples figures report clean goldens goldens-check fuzz-smoke cover
+.PHONY: all build vet test test-short race bench bench-baseline ci smoke examples figures report clean goldens goldens-check fuzz-smoke cover
 
 all: build vet test
 
@@ -24,13 +24,23 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# What CI runs (see .github/workflows/ci.yml): vet, build, the full
-# test suite under the race detector, and the golden-artifact check.
+# What CI runs (see .github/workflows/ci.yml): vet (plus staticcheck
+# when installed — CI installs it, local runs skip it gracefully),
+# build, the full test suite under the race detector, the
+# golden-artifact check, and the cross-machine smoke sweep.
 ci:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI installs it)"; fi
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) run ./cmd/goldens
+	$(GO) run ./cmd/ncarbench -machine all -short
+
+# Cross-machine smoke: one line of scalar anchors per registered
+# machine, exercising the Target registry end to end.
+smoke:
+	$(GO) run ./cmd/ncarbench -machine all -short
 
 # Regenerate the golden artifacts in internal/check/testdata/goldens
 # after an intentional model change; review `git diff` before

@@ -4,59 +4,67 @@
 //
 // Usage:
 //
-//	figures -exp table7        # one experiment
-//	figures -exp all           # everything
-//	figures -exp fig5 -csv     # CSV for plotting
+//	figures -exp table7            # one experiment
+//	figures -exp all               # everything
+//	figures -exp fig5 -csv         # CSV for plotting
+//	figures -exp table5 -machine ymp
+//	figures -exp crossmachine      # the whole suite on every machine
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"sx4bench"
 	"sx4bench/internal/core"
 	"sx4bench/internal/ncar"
+	"sx4bench/internal/target"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig5..fig8, radabs, pop, prodload, correctness, io, multinode, report, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig5..fig8, radabs, pop, prodload, correctness, io, multinode, report, profile, crossmachine, all)")
+	machine := flag.String("machine", "sx4-32",
+		fmt.Sprintf("machine to run the experiments on (known: %s)", strings.Join(sx4bench.Machines(), ", ")))
 	csv := flag.Bool("csv", false, "emit CSV instead of text (figures and tables only)")
 	plot := flag.Bool("plot", false, "render figures as ASCII log-log charts")
 	workers := flag.Int("workers", 0, "experiment-level parallelism for -exp all (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	cacheStats := flag.Bool("cachestats", false, "print machine-model timing-cache hit/miss counters to stderr on exit")
 	flag.Parse()
 
-	m := sx4bench.Benchmarked()
+	m, err := sx4bench.Lookup(*machine)
+	if err != nil {
+		fail(err)
+	}
 	if *cacheStats {
 		defer func() {
-			fmt.Fprintf(os.Stderr, "figures: timing cache %s\n", m.CacheStats())
+			if counted, ok := m.(interface{ CacheStats() target.CacheStats }); ok {
+				fmt.Fprintf(os.Stderr, "figures: timing cache %s\n", counted.CacheStats())
+			}
 		}()
 	}
-	if *exp == "all" {
-		if err := sx4bench.RunAllWorkers(os.Stdout, m, *workers); err != nil {
-			fail(err)
-		}
-		return
-	}
-	if *csv {
-		if err := writeCSV(m, *exp); err != nil {
-			fail(err)
-		}
-		return
-	}
-	if *plot {
-		if err := writePlot(m, *exp); err != nil {
-			fail(err)
-		}
-		return
-	}
-	if err := sx4bench.RunExperiment(os.Stdout, m, *exp); err != nil {
+	if err := run(os.Stdout, m, *exp, *csv, *plot, *workers); err != nil {
 		fail(err)
 	}
 }
 
-func writePlot(m *sx4bench.Machine, exp string) error {
+// run is the testable body of the command.
+func run(w io.Writer, m sx4bench.Target, exp string, csv, plot bool, workers int) error {
+	if exp == "all" {
+		return sx4bench.RunAllWorkers(w, m, workers)
+	}
+	if csv {
+		return writeCSV(w, m, exp)
+	}
+	if plot {
+		return writePlot(w, m, exp)
+	}
+	return sx4bench.RunExperiment(w, m, exp)
+}
+
+func writePlot(w io.Writer, m sx4bench.Target, exp string) error {
 	var f sx4bench.Figure
 	switch exp {
 	case "fig5":
@@ -70,33 +78,39 @@ func writePlot(m *sx4bench.Machine, exp string) error {
 	default:
 		return fmt.Errorf("no plot form for %q", exp)
 	}
-	return core.WritePlot(os.Stdout, f, 72, 22)
+	return core.WritePlot(w, f, 72, 22)
 }
 
-func writeCSV(m *sx4bench.Machine, exp string) error {
+func writeCSV(w io.Writer, m sx4bench.Target, exp string) error {
 	switch exp {
 	case "fig5":
-		return core.WriteFigureCSV(os.Stdout, ncar.Fig5(m, 4))
+		return core.WriteFigureCSV(w, ncar.Fig5(m, 4))
 	case "fig6":
-		return core.WriteFigureCSV(os.Stdout, ncar.Fig6(m))
+		return core.WriteFigureCSV(w, ncar.Fig6(m))
 	case "fig7":
-		return core.WriteFigureCSV(os.Stdout, ncar.Fig7(m))
+		return core.WriteFigureCSV(w, ncar.Fig7(m))
 	case "fig8":
-		return core.WriteFigureCSV(os.Stdout, ncar.Fig8(m))
+		return core.WriteFigureCSV(w, ncar.Fig8(m))
 	case "table1":
-		return core.WriteTableCSV(os.Stdout, ncar.Table1())
+		return core.WriteTableCSV(w, ncar.Table1())
 	case "table2":
-		return core.WriteTableCSV(os.Stdout, ncar.Table2())
+		return core.WriteTableCSV(w, ncar.Table2())
 	case "table3":
-		return core.WriteTableCSV(os.Stdout, ncar.Table3(m))
+		return core.WriteTableCSV(w, ncar.Table3(m))
 	case "table4":
-		return core.WriteTableCSV(os.Stdout, ncar.Table4())
+		return core.WriteTableCSV(w, ncar.Table4())
 	case "table5":
-		return core.WriteTableCSV(os.Stdout, ncar.Table5(m))
+		return core.WriteTableCSV(w, ncar.Table5(m))
 	case "table6":
-		return core.WriteTableCSV(os.Stdout, ncar.Table6(m))
+		return core.WriteTableCSV(w, ncar.Table6(m))
 	case "table7":
-		return core.WriteTableCSV(os.Stdout, ncar.Table7(m))
+		return core.WriteTableCSV(w, ncar.Table7(m))
+	case "crossmachine":
+		tab, err := ncar.CrossMachineTable()
+		if err != nil {
+			return err
+		}
+		return core.WriteTableCSV(w, tab)
 	}
 	return fmt.Errorf("no CSV form for %q", exp)
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sx4bench"
+)
+
+func TestLookupUnknownMachine(t *testing.T) {
+	if _, err := sx4bench.Lookup("nosuch"); err == nil {
+		t.Fatal("Lookup accepted an unknown machine")
+	} else if !strings.Contains(err.Error(), "nosuch") || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("error %q does not name the machine and the known set", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, sx4bench.Benchmarked(), "nosuch", false, false, 1); err == nil {
+		t.Error("run accepted an unknown experiment id")
+	}
+	if err := run(&buf, sx4bench.Benchmarked(), "nosuch", true, false, 1); err == nil {
+		t.Error("run -csv accepted an unknown experiment id")
+	}
+	if err := run(&buf, sx4bench.Benchmarked(), "nosuch", false, true, 1); err == nil {
+		t.Error("run -plot accepted an unknown experiment id")
+	}
+}
+
+func TestRunExperimentOnComparator(t *testing.T) {
+	m, err := sx4bench.Lookup("ymp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, m, "table5", false, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "T42L18") {
+		t.Errorf("table5 on ymp missing resolution row:\n%s", buf.String())
+	}
+}
+
+func TestRunCrossMachineCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, sx4bench.Benchmarked(), "crossmachine", true, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, want := range []string{"SUN Sparc 20", "CRI C90", "SX-4/32"} {
+		if !strings.Contains(head, want) {
+			t.Errorf("crossmachine CSV header %q missing column %q", head, want)
+		}
+	}
+}

@@ -1,12 +1,15 @@
 // Command ncarbench runs the NCAR Benchmark Suite (or a single named
-// member) against the SX-4 model and prints the results, following the
-// paper's category structure.
+// member) against any registered machine model and prints the results,
+// following the paper's category structure.
 //
 // Usage:
 //
-//	ncarbench                  # list the suite
-//	ncarbench -run COPY        # one benchmark
-//	ncarbench -run all         # the full suite
+//	ncarbench                          # list the suite
+//	ncarbench -run COPY                # one benchmark on the SX-4/32
+//	ncarbench -run all                 # the full suite
+//	ncarbench -machine ymp -run RADABS # one benchmark on the Cray Y-MP
+//	ncarbench -machine all -run all    # the suite on every machine
+//	ncarbench -machine all -short      # one-line smoke sweep (CI)
 //	ncarbench -run CCM2 -cpus 16
 package main
 
@@ -15,57 +18,110 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sx4bench"
 	"sx4bench/internal/core/sched"
 	"sx4bench/internal/ncar"
-	"sx4bench/internal/sx4"
 )
 
 func main() {
 	run := flag.String("run", "", "benchmark name (see list), or 'all'")
-	cpus := flag.Int("cpus", 32, "processors for the application benchmarks")
+	machine := flag.String("machine", "sx4-32",
+		fmt.Sprintf("machine to benchmark, or 'all' (known: %s)", strings.Join(sx4bench.Machines(), ", ")))
+	cpus := flag.Int("cpus", 0, "processors for the application benchmarks (0 = the machine's full CPU count)")
 	workers := flag.Int("workers", 0, "suite-level parallelism for -run all (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+	short := flag.Bool("short", false, "print one line of scalar anchors per machine instead of full results")
 	flag.Parse()
 
-	m := sx4bench.Benchmarked()
-	if *run == "" {
-		list()
-		return
-	}
-	if *run == "all" {
-		var tasks []sched.Task
-		for _, b := range ncar.Suite() {
-			b := b
-			tasks = append(tasks, sched.Task{ID: b.Name, Run: func(w io.Writer) error {
-				if _, err := fmt.Fprintf(w, "\n--- %s (%s) ---\n", b.Name, b.Category); err != nil {
-					return err
-				}
-				return ncar.RunBenchmark(w, machineOf(m), b.Name, *cpus)
-			}})
-		}
-		if err := sched.Stream(os.Stdout, *workers, tasks); err != nil {
-			fail(err)
-		}
-		return
-	}
-	if err := ncar.RunBenchmark(os.Stdout, machineOf(m), *run, *cpus); err != nil {
+	if err := runMain(os.Stdout, *machine, *run, *cpus, *workers, *short); err != nil {
 		fail(err)
 	}
 }
 
-// machineOf unwraps the facade alias for the internal API.
-func machineOf(m *sx4bench.Machine) *sx4.Machine { return m }
+// runMain is the testable body of the command.
+func runMain(w io.Writer, machine, benchmark string, cpus, workers int, short bool) error {
+	targets, err := resolveTargets(machine)
+	if err != nil {
+		return err
+	}
+	if short {
+		for _, tgt := range targets {
+			if err := ncar.ShortSummary(w, tgt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if benchmark == "" {
+		// -machine all with no -run means the whole suite; a single
+		// machine with no -run just lists the suite.
+		if machine != "all" {
+			list(w)
+			return nil
+		}
+		benchmark = "all"
+	}
+	for _, tgt := range targets {
+		if len(targets) > 1 {
+			if _, err := fmt.Fprintf(w, "\n===== %s =====\n", tgt.Name()); err != nil {
+				return err
+			}
+		}
+		if err := runOn(w, tgt, benchmark, cpus, workers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-func list() {
-	fmt.Println("The NCAR Benchmark Suite:")
+// resolveTargets maps a -machine value to the machines to benchmark.
+func resolveTargets(machine string) ([]sx4bench.Target, error) {
+	if machine == "all" {
+		var targets []sx4bench.Target
+		for _, name := range sx4bench.Machines() {
+			tgt, err := sx4bench.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, tgt)
+		}
+		return targets, nil
+	}
+	tgt, err := sx4bench.Lookup(machine)
+	if err != nil {
+		return nil, err
+	}
+	return []sx4bench.Target{tgt}, nil
+}
+
+// runOn runs one benchmark name (or the whole suite) on one machine.
+func runOn(w io.Writer, tgt sx4bench.Target, benchmark string, cpus, workers int) error {
+	if benchmark != "all" {
+		return ncar.RunBenchmark(w, tgt, benchmark, cpus)
+	}
+	var tasks []sched.Task
+	for _, b := range ncar.Suite() {
+		b := b
+		tasks = append(tasks, sched.Task{ID: b.Name, Run: func(tw io.Writer) error {
+			if _, err := fmt.Fprintf(tw, "\n--- %s (%s) ---\n", b.Name, b.Category); err != nil {
+				return err
+			}
+			return ncar.RunBenchmark(tw, tgt, b.Name, cpus)
+		}})
+	}
+	return sched.Stream(w, workers, tasks)
+}
+
+func list(w io.Writer) {
+	fmt.Fprintln(w, "The NCAR Benchmark Suite:")
 	last := ncar.Category(-1)
 	for _, b := range ncar.Suite() {
 		if b.Category != last {
-			fmt.Printf("\n%s:\n", b.Category)
+			fmt.Fprintf(w, "\n%s:\n", b.Category)
 			last = b.Category
 		}
-		fmt.Printf("  %-9s %s (KTRIES=%d)\n", b.Name, b.Description, b.KTries)
+		fmt.Fprintf(w, "  %-9s %s (KTRIES=%d)\n", b.Name, b.Description, b.KTries)
 	}
 }
 

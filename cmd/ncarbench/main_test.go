@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMainUnknownMachine(t *testing.T) {
+	var buf bytes.Buffer
+	err := runMain(&buf, "nosuch", "RADABS", 0, 1, false)
+	if err == nil {
+		t.Fatal("runMain accepted an unknown machine")
+	}
+	if !strings.Contains(err.Error(), "nosuch") || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("error %q does not name the machine and the known set", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unknown machine wrote %d bytes of output", buf.Len())
+	}
+}
+
+func TestRunMainUnknownBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, "sx4-32", "NOSUCH", 0, 1, false); err == nil {
+		t.Error("runMain accepted an unknown benchmark")
+	}
+}
+
+func TestRunMainShortSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, "all", "", 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 7 {
+		t.Errorf("-machine all -short printed %d lines, want one per registered machine (>= 7)", len(lines))
+	}
+	for _, want := range []string{"SUN Sparc 20", "CRI Y-MP", "SX-4/32"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("short sweep output missing %q", want)
+		}
+	}
+}
+
+func TestRunMainSingleMachineBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, "ymp", "RADABS", 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CRI Y-MP") {
+		t.Errorf("RADABS on ymp does not name the machine:\n%s", buf.String())
+	}
+}
+
+func TestRunMainListsSuiteByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, "sx4-32", "", 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NCAR Benchmark Suite") {
+		t.Errorf("no -run did not list the suite:\n%s", buf.String())
+	}
+}

@@ -1,57 +1,131 @@
-// Command sx4info prints the modeled SX-4 configuration: the Table 2
-// specification sheet and the component inventory of Section 2 of the
-// paper (CPU, MMU, XMU, IOP, IXS, SUPER-UX).
+// Command sx4info prints the modeled machine configurations. For the
+// SX-4 (the default) it renders the Table 2 specification sheet and the
+// component inventory of Section 2 of the paper (CPU, MMU, XMU, IOP,
+// IXS, SUPER-UX); for any other registered machine it prints the
+// specification and scalar-path summary the cross-machine sweeps use.
+//
+// Usage:
+//
+//	sx4info                      # the benchmarked SX-4/32
+//	sx4info -cpus 16 -nodes 4    # a production configuration
+//	sx4info -machine ymp         # one comparison machine
+//	sx4info -machine all         # every registered machine
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"sx4bench"
 	"sx4bench/internal/core"
 	"sx4bench/internal/ncar"
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/iop"
 	"sx4bench/internal/sx4/ixs"
 	"sx4bench/internal/sx4/xmu"
 )
 
 func main() {
+	machine := flag.String("machine", "",
+		fmt.Sprintf("registered machine to describe, or 'all' (known: %s); empty = the SX-4 built from -cpus/-nodes", strings.Join(sx4bench.Machines(), ", ")))
 	cpus := flag.Int("cpus", 32, "processors per node (1-32)")
 	nodes := flag.Int("nodes", 1, "nodes joined by the IXS (1-16)")
 	benchmarked := flag.Bool("benchmarked", true, "use the paper's 9.2 ns system")
 	flag.Parse()
 
-	var cfg sx4.Config
-	if *benchmarked && *cpus == 32 && *nodes == 1 {
-		cfg = sx4.Benchmarked()
-	} else {
-		cfg = sx4.NewConfig(*cpus, *nodes)
-	}
-	m := sx4.New(cfg)
-	fmt.Println(m)
-	fmt.Println()
-	if err := core.WriteTable(os.Stdout, ncar.Table2()); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := run(os.Stdout, *machine, *cpus, *nodes, *benchmarked); err != nil {
+		fmt.Fprintln(os.Stderr, "sx4info:", err)
 		os.Exit(1)
 	}
+}
 
-	fmt.Println("\nComponent inventory (paper Section 2):")
-	fmt.Printf("  CPU:  %d vector pipes/set x 4 sets, %d-element vector registers,\n",
+// run is the testable body of the command.
+func run(w io.Writer, machine string, cpus, nodes int, benchmarked bool) error {
+	switch machine {
+	case "":
+		var m *sx4bench.Machine
+		if benchmarked && cpus == 32 && nodes == 1 {
+			m = sx4bench.Benchmarked()
+		} else {
+			m = sx4bench.Production(cpus, nodes)
+		}
+		return printSX4(w, m)
+	case "all":
+		for _, name := range sx4bench.Machines() {
+			tgt, err := sx4bench.Lookup(name)
+			if err != nil {
+				return err
+			}
+			if err := printTarget(w, name, tgt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tgt, err := sx4bench.Lookup(machine)
+	if err != nil {
+		return err
+	}
+	return printTarget(w, machine, tgt)
+}
+
+// printTarget describes one registered machine from its Target surface:
+// the specification sheet and the scalar path the HINT model sees.
+func printTarget(w io.Writer, name string, tgt sx4bench.Target) error {
+	spec := tgt.Spec()
+	if _, err := fmt.Fprintf(w, "%-8s %s\n", name, tgt.Name()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  spec:   %.2f ns clock (%.0f MHz), %d CPUs x %d nodes, peak %.0f MFLOPS/CPU\n",
+		spec.ClockNS, 1e3/spec.ClockNS, spec.CPUs, spec.Nodes, spec.PeakMFLOPSPerCPU); err != nil {
+		return err
+	}
+	sc := tgt.Scalar()
+	mem := fmt.Sprintf("no cache, %.0f clocks/word to memory", sc.MemClocksPerWord)
+	if sc.HasCache {
+		mem = fmt.Sprintf("cached, %.1f words/clock", sc.CacheWordsPerClock)
+	}
+	if _, err := fmt.Fprintf(w, "  scalar: %.1f-issue, %s\n", sc.IssuePerClock, mem); err != nil {
+		return err
+	}
+	if spec.DiskBytesPerSec > 0 {
+		if _, err := fmt.Fprintf(w, "  disk:   %.0f MB/s\n", spec.DiskBytesPerSec/1e6); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printSX4 renders the full SX-4 inventory the command has always
+// printed for the paper's machine.
+func printSX4(w io.Writer, m *sx4bench.Machine) error {
+	cfg := m.Config()
+	if _, err := fmt.Fprintf(w, "%s\n\n", m); err != nil {
+		return err
+	}
+	if err := core.WriteTable(w, ncar.Table2()); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\nComponent inventory (paper Section 2):")
+	fmt.Fprintf(w, "  CPU:  %d vector pipes/set x 4 sets, %d-element vector registers,\n",
 		cfg.VectorPipes, cfg.VectorRegElems)
-	fmt.Printf("        2-issue superscalar unit, 64 KB I+D caches, communications registers\n")
-	fmt.Printf("  MMU:  %d SSRAM banks, %d-clock bank cycle, %.0f GB/s/CPU port, %.0f GB/s/node sustained\n",
+	fmt.Fprintf(w, "        2-issue superscalar unit, 64 KB I+D caches, communications registers\n")
+	fmt.Fprintf(w, "  MMU:  %d SSRAM banks, %d-clock bank cycle, %.0f GB/s/CPU port, %.0f GB/s/node sustained\n",
 		cfg.MemoryBanks, cfg.BankBusyClocks, cfg.PortBytesPerSec()/1e9, cfg.NodeMemoryBytesPerSec()/1e9)
 	x := xmu.New(cfg.XMUGB)
-	fmt.Printf("  XMU:  %.0f GB extended memory at %.0f GB/s (direct-mapped arrays, SFS cache, swap)\n",
+	fmt.Fprintf(w, "  XMU:  %.0f GB extended memory at %.0f GB/s (direct-mapped arrays, SFS cache, swap)\n",
 		cfg.XMUGB, x.BytesPerSec/1e9)
 	sub := iop.New()
-	fmt.Printf("  IOP:  %d processors x %.1f GB/s, %d HIPPI channels, %.0f GB disk at %.0f MB/s\n",
+	fmt.Fprintf(w, "  IOP:  %d processors x %.1f GB/s, %d HIPPI channels, %.0f GB disk at %.0f MB/s\n",
 		sub.IOPs, sub.IOPBytesPerSec/1e9, sub.HIPPIChannels, sub.DiskArray.CapacityGB, sub.DiskArray.BytesPerSec/1e6)
-	if *nodes > 1 {
-		x := ixs.New(*nodes)
-		fmt.Printf("  IXS:  %d nodes, %.0f GB/s per node channel, %.0f GB/s bisection\n",
-			x.Nodes, x.PerNodeBytesPerSec/1e9, x.BisectionBytesPerSec/1e9)
+	if cfg.Nodes > 1 {
+		ix := ixs.New(cfg.Nodes)
+		fmt.Fprintf(w, "  IXS:  %d nodes, %.0f GB/s per node channel, %.0f GB/s bisection\n",
+			ix.Nodes, ix.PerNodeBytesPerSec/1e9, ix.BisectionBytesPerSec/1e9)
 	}
-	fmt.Printf("  OS:   SUPER-UX (NQS batch, Resource Blocking, checkpoint/restart, SFS)\n")
+	fmt.Fprintf(w, "  OS:   SUPER-UX (NQS batch, Resource Blocking, checkpoint/restart, SFS)\n")
+	return nil
 }

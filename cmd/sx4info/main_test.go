@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sx4bench"
+)
+
+func TestRunUnknownMachine(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "nosuch", 32, 1, true)
+	if err == nil {
+		t.Fatal("run accepted an unknown machine")
+	}
+	if !strings.Contains(err.Error(), "nosuch") || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("error %q does not name the machine and the known set", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unknown machine wrote %d bytes of output", buf.Len())
+	}
+}
+
+func TestRunAllMachines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "all", 32, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sx4bench.Machines() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-machine all output missing %q", name)
+		}
+	}
+	// Compute-only comparators must not claim a disk subsystem.
+	if got := strings.Count(buf.String(), "disk:"); got != 2 {
+		t.Errorf("disk line printed %d times, want 2 (the SX-4 configurations)", got)
+	}
+}
+
+func TestRunDefaultSX4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 32, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SX-4", "Component inventory", "SUPER-UX"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("default output missing %q", want)
+		}
+	}
+}
+
+func TestRunMultiNodeShowsIXS(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 16, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "IXS:") {
+		t.Errorf("multi-node configuration missing IXS line:\n%s", buf.String())
+	}
+}

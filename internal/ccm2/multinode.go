@@ -3,8 +3,8 @@ package ccm2
 import (
 	"fmt"
 
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/ixs"
+	"sx4bench/internal/target"
 )
 
 // Multinode projection: the paper benchmarks a single 32-CPU node, but
@@ -41,8 +41,8 @@ type MultiNodeResult struct {
 // joined by the IXS: each node runs 1/n of the latitudes (the
 // single-node machine model at full 32-CPU parallelism on 1/n of the
 // work), plus the all-to-all transpose and a global barrier per step.
-func MultiNodeProjection(m *sx4.Machine, res Resolution, nodes int) MultiNodeResult {
-	perNodeCPUs := m.Config().CPUs
+func MultiNodeProjection(m target.Target, res Resolution, nodes int) MultiNodeResult {
+	perNodeCPUs := m.Spec().CPUs
 	singleNode := StepSeconds(m, res, perNodeCPUs, perNodeCPUs)
 	out := MultiNodeResult{Nodes: nodes, TotalCPUs: nodes * perNodeCPUs}
 	if nodes <= 1 {
@@ -58,7 +58,7 @@ func MultiNodeProjection(m *sx4.Machine, res Resolution, nodes int) MultiNodeRes
 	// diagnostics gathering on the master node do not shrink with the
 	// node count (they are part of the single node's orchestration
 	// phase, so they appear here only for nodes > 1).
-	master := m.Seconds(masterControlClocks)
+	master := m.Spec().Seconds(masterControlClocks)
 	out.StepSeconds = singleNode/float64(nodes) + master + comm
 	out.GFLOPS = float64(StepFlops(res)) / out.StepSeconds / 1e9
 	ideal := singleNode / float64(nodes)
@@ -67,7 +67,7 @@ func MultiNodeProjection(m *sx4.Machine, res Resolution, nodes int) MultiNodeRes
 }
 
 // MultiNodeSweep projects a resolution over 1..maxNodes nodes.
-func MultiNodeSweep(m *sx4.Machine, res Resolution, maxNodes int) []MultiNodeResult {
+func MultiNodeSweep(m target.Target, res Resolution, maxNodes int) []MultiNodeResult {
 	if maxNodes < 1 || maxNodes > 16 {
 		panic(fmt.Sprintf("ccm2: node count %d out of range [1,16]", maxNodes))
 	}

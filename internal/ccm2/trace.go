@@ -5,8 +5,8 @@ import (
 
 	"sx4bench/internal/fftpack"
 	"sx4bench/internal/radabs"
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // Calibration constants of the CCM2 step trace. Together with the
@@ -160,14 +160,14 @@ func StepTrace(res Resolution) prog.Program {
 // StepFlops returns the credited flop count of one step.
 func StepFlops(res Resolution) int64 { return StepTrace(res).Flops() }
 
-// StepSeconds simulates one time step on the machine.
-func StepSeconds(m *sx4.Machine, res Resolution, procs, active int) float64 {
-	return m.Run(StepTrace(res), sx4.RunOpts{Procs: procs, ActiveCPUs: active}).Seconds
+// StepSeconds simulates one time step on the target machine.
+func StepSeconds(m target.Target, res Resolution, procs, active int) float64 {
+	return m.Run(StepTrace(res), target.RunOpts{Procs: procs, ActiveCPUs: active}).Seconds
 }
 
 // SustainedGFLOPS returns the model's sustained rate at a resolution
 // and processor count — one point of Figure 8.
-func SustainedGFLOPS(m *sx4.Machine, res Resolution, procs int) float64 {
+func SustainedGFLOPS(m target.Target, res Resolution, procs int) float64 {
 	secs := StepSeconds(m, res, procs, procs)
 	return float64(StepFlops(res)) / secs / 1e9
 }
@@ -179,11 +179,15 @@ func HistoryBytesPerDay(res Resolution) int64 {
 
 // YearSim models a one-year simulation with daily history writes
 // (Table 5), returning compute seconds, I/O seconds and the total.
-func YearSim(m *sx4.Machine, res Resolution, procs int) (compute, io, total float64) {
+// Targets without a modeled disk subsystem (the comparison machines
+// were benchmarked compute-only) report zero I/O time.
+func YearSim(m target.Target, res Resolution, procs int) (compute, io, total float64) {
 	steps := 365 * res.StepsPerDay()
 	compute = float64(steps) * StepSeconds(m, res, procs, procs)
-	bytes := 365 * HistoryBytesPerDay(res)
-	io = float64(bytes) / m.Config().DiskBytesPerSec
+	if rate := m.Spec().DiskBytesPerSec; rate > 0 {
+		bytes := 365 * HistoryBytesPerDay(res)
+		io = float64(bytes) / rate
+	}
 	return compute, io, compute + io
 }
 
@@ -197,11 +201,11 @@ type EnsembleResult struct {
 // EnsembleTest models Table 6: a 12-day T42L18 run on 4 processors,
 // alone versus with eight concurrent 4-processor copies filling the
 // node.
-func EnsembleTest(m *sx4.Machine) EnsembleResult {
+func EnsembleTest(m target.Target) EnsembleResult {
 	res := Resolutions[0] // T42L18
 	steps := 12 * res.StepsPerDay()
 	single := float64(steps) * StepSeconds(m, res, 4, 4)
-	multi := float64(steps) * StepSeconds(m, res, 4, m.Config().CPUs)
+	multi := float64(steps) * StepSeconds(m, res, 4, m.Spec().CPUs)
 	return EnsembleResult{
 		SingleSeconds:   single,
 		MultipleSeconds: multi,
@@ -211,7 +215,7 @@ func EnsembleTest(m *sx4.Machine) EnsembleResult {
 
 // SimDays models an n-day simulation at a resolution on procs CPUs
 // with the node otherwise loaded to active CPUs; used by PRODLOAD.
-func SimDays(m *sx4.Machine, res Resolution, days, procs, active int) float64 {
+func SimDays(m target.Target, res Resolution, days, procs, active int) float64 {
 	steps := days * res.StepsPerDay()
 	return float64(steps) * StepSeconds(m, res, procs, active)
 }

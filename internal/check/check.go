@@ -40,8 +40,8 @@ const DefaultDir = "internal/check/testdata/goldens"
 
 // Artifacts returns the identifiers of every golden-pinned artifact, in
 // render order: the seven paper tables, the four paper figures, the
-// scalar anchors (RADABS, POP, PRODLOAD), the I/O category, and the
-// multinode and profile projections. The identifiers are the
+// scalar anchors (RADABS, POP, PRODLOAD), the I/O category, the
+// multinode and profile projections, and the cross-machine suite sweep. The identifiers are the
 // sx4bench.RunExperiment ids, so any golden can be reproduced by hand
 // with `go run ./cmd/figures -exp <id>`.
 //
@@ -54,7 +54,7 @@ func Artifacts() []string {
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig5", "fig6", "fig7", "fig8",
 		"radabs", "pop", "prodload", "io",
-		"multinode", "profile",
+		"multinode", "profile", "crossmachine",
 	}
 }
 

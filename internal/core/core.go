@@ -11,16 +11,17 @@ import (
 	"math"
 	"sync"
 
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // Executor is a machine (real or modeled) that can execute an operation
-// trace. *sx4.Machine implements it; the baseline models in
-// internal/machine provide the comparison systems of Table 1.
+// trace: the subset of target.Target the measurement loop needs. Every
+// registered target satisfies it — *sx4.Machine and the Table 1 models
+// in internal/machine alike.
 type Executor interface {
 	Name() string
-	Run(p prog.Program, opts sx4.RunOpts) sx4.Result
+	Run(p prog.Program, opts target.RunOpts) target.Result
 }
 
 // Noise perturbs simulated timings with deterministic pseudo-random
@@ -242,7 +243,7 @@ func ConstantVolumeSweep(volume, minN, maxN, perDecade int) []SweepPair {
 // Run measures one trace on an executor with KTRIES repetitions under
 // jitter, returning the best time. payloadBytes may be zero for
 // compute benchmarks.
-func Run(ex Executor, p prog.Program, opts sx4.RunOpts, ktries int, noise *Noise, payloadBytes int64) Measurement {
+func Run(ex Executor, p prog.Program, opts target.RunOpts, ktries int, noise *Noise, payloadBytes int64) Measurement {
 	// Executors are pure functions of (p, opts) — jitter enters only
 	// through noise — so the trace is simulated once and only the
 	// perturbation repeats. The draw sequence matches calling ex.Run

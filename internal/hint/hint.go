@@ -16,8 +16,8 @@ import (
 	"container/heap"
 	"math"
 
-	"sx4bench/internal/machine"
 	"sx4bench/internal/sx4/spu"
+	"sx4bench/internal/target"
 )
 
 // TrueArea is the exact integral of (1-x)/(1+x) over [0,1].
@@ -92,7 +92,7 @@ const (
 
 // ModelMQUIPS estimates the machine's HINT score in millions of QUIPS
 // from its scalar profile.
-func ModelMQUIPS(p machine.ScalarProfile) float64 {
+func ModelMQUIPS(p target.ScalarProfile) float64 {
 	clocks := opsPerStep / p.IssuePerClock
 	if p.HasCache {
 		clocks += wordsPerStep / p.CacheWordsPerClock

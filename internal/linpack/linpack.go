@@ -12,8 +12,8 @@ import (
 	"math"
 	"math/rand"
 
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // Matrix is a dense column-major n x n matrix.
@@ -195,7 +195,7 @@ func Trace(n int) prog.Program {
 }
 
 // MFLOPS models the benchmark rate on a machine at order n.
-func MFLOPS(m *sx4.Machine, n int) float64 {
-	r := m.Run(Trace(n), sx4.RunOpts{Procs: 1})
+func MFLOPS(m target.Target, n int) float64 {
+	r := m.Run(Trace(n), target.RunOpts{Procs: 1})
 	return Flops(n) / r.Seconds / 1e6
 }

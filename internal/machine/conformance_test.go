@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"testing"
+
+	"sx4bench/internal/target"
+)
+
+// TestConformanceAllRegistered runs the target conformance contract
+// over every machine in the registry — the Table 1 comparators, the
+// scalar workstations included, and both SX-4 configurations.
+func TestConformanceAllRegistered(t *testing.T) {
+	names := target.All()
+	if len(names) < 7 {
+		t.Fatalf("registry holds %d machines (%v), want at least the 7 paper systems",
+			len(names), names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			tgt, err := target.Lookup(name)
+			if err != nil {
+				t.Fatalf("Lookup(%q): %v", name, err)
+			}
+			target.Conformance(t, tgt)
+		})
+	}
+}
+
+// TestRegistryOrder pins the canonical column order: Table 1 machines
+// first (paper order), then the SX-4 configurations.
+func TestRegistryOrder(t *testing.T) {
+	want := []string{"sparc20", "rs6000", "j90", "ymp", "c90", "sx4-1", "sx4-32"}
+	got := target.All()
+	if len(got) < len(want) {
+		t.Fatalf("All() = %v, want prefix %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("All()[%d] = %q, want %q (full: %v)", i, got[i], name, got)
+		}
+	}
+}
+
+// TestRegistryNames pins the name each registry entry resolves to.
+func TestRegistryNames(t *testing.T) {
+	for name, display := range map[string]string{
+		"sparc20": "SUN Sparc 20",
+		"rs6000":  "IBM RS6000/590",
+		"j90":     "CRI J90",
+		"ymp":     "CRI Y-MP",
+		"c90":     "CRI C90",
+		"sx4-1":   "SX-4/1",
+		"sx4-32":  "SX-4/32",
+	} {
+		tgt, err := target.Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+			continue
+		}
+		if tgt.Name() != display {
+			t.Errorf("Lookup(%q).Name() = %q, want %q", name, tgt.Name(), display)
+		}
+	}
+}

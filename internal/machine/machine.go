@@ -13,31 +13,22 @@ package machine
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
-// ScalarProfile describes a machine's scalar processing path, the one
-// HINT exercises: issue width, cache, and scalar memory latency.
-type ScalarProfile struct {
-	ClockNS       float64
-	IssuePerClock float64
-	// HasCache reports whether scalar loads hit a data cache; the
-	// vector Crays have none and pay main-memory latency per load.
-	HasCache           bool
-	CacheWordsPerClock float64
-	MemClocksPerWord   float64
-}
+// ScalarProfile is the machine-agnostic scalar-path description; the
+// alias keeps the historical machine.ScalarProfile spelling working.
+type ScalarProfile = target.ScalarProfile
 
-// Target is a modeled machine: it executes traces and exposes its
-// scalar profile.
-type Target interface {
-	Name() string
-	Run(p prog.Program, opts sx4.RunOpts) sx4.Result
-	Scalar() ScalarProfile
-}
+// Target is a modeled machine; the interface now lives in the leaf
+// package target, alongside the registry the constructors below
+// populate.
+type Target = target.Target
 
 // --- Cray vector baselines (sx4 engine with different parameters) ---
 
@@ -47,8 +38,17 @@ type Vector struct {
 	scalar ScalarProfile
 }
 
+var _ target.Target = (*Vector)(nil)
+
 // Scalar returns the machine's scalar-path description.
 func (v *Vector) Scalar() ScalarProfile { return v.scalar }
+
+// Clone returns a fresh machine with the same configuration, scalar
+// profile, and a cold timing memo. (The promoted sx4.Machine Clone
+// would drop the Cray scalar profile.)
+func (v *Vector) Clone() target.Target {
+	return &Vector{Machine: sx4.New(v.Machine.Config()), scalar: v.scalar}
+}
 
 // CrayYMP models one processor of a CRI Y-MP: 6 ns clock, one add and
 // one multiply pipe (333 MFLOPS peak), 64-element vector registers,
@@ -113,6 +113,10 @@ func baseCray(name string, clockNS float64, cpus, pipes, regElems int) sx4.Confi
 	c.GatherWordsPerClock = float64(pipes) / 2
 	c.StridedPenalty = 2
 	c.ScalarIssuePerClock = 1
+	// The comparison systems were benchmarked compute-only; no I/O
+	// subsystem is modeled (gates the disk-dependent table rows).
+	c.DiskCapacityGB = 0
+	c.DiskBytesPerSec = 0
 	return c
 }
 
@@ -139,7 +143,14 @@ type Workstation struct {
 	IntrinsicClocks float64
 	// IssuePerClock is the integer/control issue width.
 	IssuePerClock float64
+
+	// memo holds memoized trace timings keyed on the model's
+	// fingerprint; nil (the zero value) disables memoization, so
+	// literal-constructed Workstations keep working.
+	memo *target.Memo
 }
+
+var _ target.Target = (*Workstation)(nil)
 
 // SunSparc20 models a 75 MHz SuperSPARC SUN Sparc 20.
 func SunSparc20() *Workstation {
@@ -148,6 +159,7 @@ func SunSparc20() *Workstation {
 		FlopsPerClock: 0.55, CacheKB: 16,
 		CacheWordsPerClock: 1, MemWordsPerClock: 0.12,
 		GatherPenalty: 1.5, IntrinsicClocks: 100, IssuePerClock: 1.2,
+		memo: target.NewMemo(),
 	}
 }
 
@@ -158,6 +170,7 @@ func IBMRS6000590() *Workstation {
 		FlopsPerClock: 2.2, CacheKB: 256,
 		CacheWordsPerClock: 2, MemWordsPerClock: 0.4,
 		GatherPenalty: 1.5, IntrinsicClocks: 70, IssuePerClock: 2,
+		memo: target.NewMemo(),
 	}
 }
 
@@ -175,9 +188,61 @@ func (w *Workstation) Scalar() ScalarProfile {
 	}
 }
 
+// Spec returns the workstation's specification sheet: a uniprocessor
+// with no modeled I/O subsystem.
+func (w *Workstation) Spec() target.Spec {
+	return target.Spec{
+		CPUs: 1, Nodes: 1,
+		ClockNS:          w.ClockNS,
+		PeakMFLOPSPerCPU: w.PeakMFLOPS(),
+	}
+}
+
+// Fingerprint hashes the model parameters (field by field — the
+// unexported memo pointer must not enter the hash), so memoized
+// timings can never be served across model variants.
+func (w *Workstation) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "ws|%s|%v|%v|%d|%v|%v|%v|%v|%v",
+		w.ModelName, w.ClockNS, w.FlopsPerClock, w.CacheKB,
+		w.CacheWordsPerClock, w.MemWordsPerClock,
+		w.GatherPenalty, w.IntrinsicClocks, w.IssuePerClock)
+	return h.Sum64()
+}
+
+// Clone returns a fresh workstation with the same parameters and a
+// cold timing memo.
+func (w *Workstation) Clone() target.Target {
+	c := *w
+	c.memo = target.NewMemo()
+	return &c
+}
+
+// CacheStats returns the workstation's timing-memo counters.
+func (w *Workstation) CacheStats() target.CacheStats {
+	if w.memo == nil {
+		return target.CacheStats{}
+	}
+	return w.memo.Stats()
+}
+
 // Run executes a trace on the workstation model. opts.Procs is ignored
 // (the Table 1 comparisons are single-processor).
 func (w *Workstation) Run(p prog.Program, opts sx4.RunOpts) sx4.Result {
+	if w.memo == nil {
+		return w.simulate(p)
+	}
+	k := target.MemoKey{Config: w.Fingerprint(), Program: p.Fingerprint(), Opts: opts}
+	if r, ok := w.memo.Lookup(k); ok {
+		return r
+	}
+	r := w.simulate(p)
+	w.memo.Store(k, r)
+	return r
+}
+
+// simulate evaluates the model without consulting the memo.
+func (w *Workstation) simulate(p prog.Program) sx4.Result {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}

@@ -1,0 +1,43 @@
+package machine
+
+import (
+	"sx4bench/internal/sx4"
+	"sx4bench/internal/target"
+)
+
+// The registry is the one sanctioned way to build machines above this
+// layer: runners and CLIs resolve short names ("-machine ymp") through
+// target.Lookup, and no package outside internal/sx4 and this one
+// constructs a *sx4.Machine directly. Registration order is the
+// canonical column order of the cross-machine tables: the paper's
+// Table 1 machines, then the SX-4 configurations.
+func init() {
+	target.Register("sparc20", func() target.Target { return SunSparc20() })
+	target.Register("rs6000", func() target.Target { return IBMRS6000590() })
+	target.Register("j90", func() target.Target { return CrayJ90() })
+	target.Register("ymp", func() target.Target { return CrayYMP() })
+	target.Register("c90", func() target.Target { return CrayC90() })
+	target.Register("sx4-1", func() target.Target { return SX4Single() })
+	target.Register("sx4-32", func() target.Target { return SX4Benchmarked() })
+}
+
+// SX4Benchmarked returns the system measured in the paper: an SX-4/32
+// with the 9.2 ns pre-production clock (Table 2).
+func SX4Benchmarked() *sx4.Machine { return sx4.New(sx4.Benchmarked()) }
+
+// SX4Single returns a single processor of the benchmarked system, the
+// configuration behind the paper's SX-4/1 kernel results (Figures 5-7,
+// Table 3). It is one CPU of the 32-CPU node — same clock, memory
+// geometry and per-CPU port — with the node to itself.
+func SX4Single() *sx4.Machine {
+	c := sx4.BenchmarkedSingleCPU()
+	c.CPUs = 1
+	c.Name = "SX-4/1"
+	return sx4.New(c)
+}
+
+// SX4Production returns an SX-4 with the production 8.0 ns clock, cpus
+// processors per node and the given node count (joined by the IXS).
+func SX4Production(cpus, nodes int) *sx4.Machine {
+	return sx4.New(sx4.NewConfig(cpus, nodes))
+}

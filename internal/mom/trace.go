@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // Scaling classes of the step's phases. MOM 1.1's parallel behaviour on
@@ -148,14 +148,14 @@ func phaseClass(name string) float64 {
 }
 
 // StepSeconds models one high-resolution step on procs CPUs.
-func StepSeconds(m *sx4.Machine, cfg Config, procs int) float64 {
-	r := m.Run(StepTrace(cfg), sx4.RunOpts{Procs: 1})
+func StepSeconds(m target.Target, cfg Config, procs int) float64 {
+	r := m.Run(StepTrace(cfg), target.RunOpts{Procs: 1})
 	var clocks float64
 	for _, ph := range r.Phases {
 		alpha := phaseClass(ph.Name)
 		clocks += ph.Clocks / math.Pow(float64(procs), alpha)
 	}
-	return m.Seconds(clocks)
+	return m.Spec().Seconds(clocks)
 }
 
 // StepFlops returns the credited flops of one step.
@@ -164,7 +164,7 @@ func StepFlops(cfg Config) int64 { return StepTrace(cfg).Flops() }
 // Benchmark350 models the Table 7 measurement: the time for 350 time
 // steps (the paper differences a 390-step and a 40-step run to remove
 // initialization).
-func Benchmark350(m *sx4.Machine, procs int) float64 {
+func Benchmark350(m target.Target, procs int) float64 {
 	return 350 * StepSeconds(m, HighRes, procs)
 }
 
@@ -173,7 +173,7 @@ func Benchmark350(m *sx4.Machine, procs int) float64 {
 var Table7CPUCounts = []int{1, 4, 8, 16, 32}
 
 // Speedups returns the Table 7 speedup column for the machine.
-func Speedups(m *sx4.Machine) map[int]float64 {
+func Speedups(m target.Target) map[int]float64 {
 	t1 := Benchmark350(m, 1)
 	out := map[int]float64{}
 	for _, p := range Table7CPUCounts {
@@ -183,6 +183,6 @@ func Speedups(m *sx4.Machine) map[int]float64 {
 }
 
 // SustainedMFLOPS returns the single-CPU rate of the benchmark.
-func SustainedMFLOPS(m *sx4.Machine) float64 {
+func SustainedMFLOPS(m target.Target) float64 {
 	return float64(StepFlops(HighRes)) / StepSeconds(m, HighRes, 1) / 1e6
 }

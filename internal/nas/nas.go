@@ -10,8 +10,8 @@ package nas
 import (
 	"math"
 
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // lcg is the NAS linear congruential generator a=5^13, m=2^46.
@@ -76,8 +76,8 @@ func EPTrace(n int) prog.Program {
 }
 
 // EPMFLOPS models the EP kernel's rate on a machine.
-func EPMFLOPS(m *sx4.Machine, n int) float64 {
-	r := m.Run(EPTrace(n), sx4.RunOpts{Procs: 1})
+func EPMFLOPS(m target.Target, n int) float64 {
+	r := m.Run(EPTrace(n), target.RunOpts{Procs: 1})
 	return r.MFLOPS()
 }
 
@@ -111,7 +111,7 @@ func MGTrace(n int) prog.Program {
 }
 
 // EPMFLOPS and MGMFLOPS model the kernels' rates on a machine.
-func MGMFLOPS(m *sx4.Machine, n int) float64 {
-	r := m.Run(MGTrace(n), sx4.RunOpts{Procs: 1})
+func MGMFLOPS(m target.Target, n int) float64 {
+	r := m.Run(MGTrace(n), target.RunOpts{Procs: 1})
 	return r.MFLOPS()
 }

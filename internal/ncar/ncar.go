@@ -25,6 +25,7 @@ import (
 	"sx4bench/internal/radabs"
 	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/iop"
+	"sx4bench/internal/target"
 )
 
 // Category is one of the suite's seven benchmark groups.
@@ -118,7 +119,7 @@ func Table1() core.Table {
 	p := radabs.Trace(radabs.BenchmarkColumns, radabs.DefaultLevels)
 	for _, tgt := range targets {
 		hintRow = append(hintRow, fmt.Sprintf("%.1f", hint.ModelMQUIPS(tgt.Scalar())))
-		r := tgt.Run(p, sx4.RunOpts{Procs: 1})
+		r := tgt.Run(p, target.RunOpts{Procs: 1})
 		radRow = append(radRow, fmt.Sprintf("%.1f", r.MFLOPS()))
 	}
 	t.Rows = [][]string{hintRow, radRow}
@@ -147,7 +148,7 @@ func Table2() core.Table {
 }
 
 // Table3 regenerates the ELEFUNT intrinsic rates on the SX-4/1.
-func Table3(m *sx4.Machine) core.Table {
+func Table3(m target.Target) core.Table {
 	t := core.Table{
 		ID:      "table3",
 		Title:   "Single processor 64-bit intrinsic rates (millions of calls per second)",
@@ -156,7 +157,7 @@ func Table3(m *sx4.Machine) core.Table {
 	const n = 1 << 20
 	row := []string{"Mcalls/s"}
 	for _, fn := range elefunt.Functions {
-		r := m.Run(elefunt.PerfTrace(fn, n), sx4.RunOpts{Procs: 1})
+		r := m.Run(elefunt.PerfTrace(fn, n), target.RunOpts{Procs: 1})
 		row = append(row, fmt.Sprintf("%.1f", float64(elefunt.PerfCalls(n))/r.Seconds/1e6))
 	}
 	t.Rows = [][]string{row}
@@ -180,7 +181,7 @@ func Table4() core.Table {
 }
 
 // Table5 regenerates the one-year simulation times.
-func Table5(m *sx4.Machine) core.Table {
+func Table5(m target.Target) core.Table {
 	t := core.Table{
 		ID:      "table5",
 		Title:   "Time in seconds to simulate one year of climate",
@@ -188,14 +189,14 @@ func Table5(m *sx4.Machine) core.Table {
 	}
 	for _, name := range []string{"T42L18", "T63L18"} {
 		res, _ := ccm2.ResolutionByName(name)
-		_, _, total := ccm2.YearSim(m, res, m.Config().CPUs)
+		_, _, total := ccm2.YearSim(m, res, m.Spec().CPUs)
 		t.AddRow(name, fmt.Sprintf("%.2f", total))
 	}
 	return t
 }
 
 // Table6 regenerates the ensemble test.
-func Table6(m *sx4.Machine) core.Table {
+func Table6(m target.Target) core.Table {
 	r := ccm2.EnsembleTest(m)
 	t := core.Table{
 		ID:      "table6",
@@ -209,7 +210,7 @@ func Table6(m *sx4.Machine) core.Table {
 }
 
 // Table7 regenerates the MOM scalability table.
-func Table7(m *sx4.Machine) core.Table {
+func Table7(m target.Target) core.Table {
 	t := core.Table{
 		ID:      "table7",
 		Title:   "MOM Ocean Model benchmark performance (350 time steps)",
@@ -229,7 +230,7 @@ func Table7(m *sx4.Machine) core.Table {
 // sweep draws jitter from noise.Stream(base+i), so the values are
 // identical no matter how many workers run the sweep or in which order
 // the points complete.
-func sweepPoints(m *sx4.Machine, n int, noise *core.Noise, base int64,
+func sweepPoints(m target.Target, n int, noise *core.Noise, base int64,
 	point func(i int, stream *core.Noise) core.Point) core.Series {
 	pts, _ := sched.Map(0, n, func(i int) (core.Point, error) {
 		return point(i, noise.Stream(base+int64(i))), nil
@@ -239,7 +240,7 @@ func sweepPoints(m *sx4.Machine, n int, noise *core.Noise, base int64,
 
 // Fig5 regenerates the memory-bandwidth sweeps (COPY, IA, XPOSE) on a
 // single processor, KTRIES best-of-k under jitter.
-func Fig5(m *sx4.Machine, perDecade int) core.Figure {
+func Fig5(m target.Target, perDecade int) core.Figure {
 	noise := DefaultNoise()
 	f := core.Figure{
 		ID:     "fig5",
@@ -250,21 +251,21 @@ func Fig5(m *sx4.Machine, perDecade int) core.Figure {
 	copyKs := kernels.CopySweep(perDecade)
 	copySeries := sweepPoints(m, len(copyKs), noise, 0, func(i int, s *core.Noise) core.Point {
 		k := copyKs[i]
-		meas := core.Run(m, k.Trace(), sx4.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
+		meas := core.Run(m, k.Trace(), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
 		return core.Point{X: float64(k.N), Y: meas.MBps()}
 	})
 	copySeries.Label = "COPY"
 	iaKs := kernels.IASweep(perDecade)
 	iaSeries := sweepPoints(m, len(iaKs), noise, 1000, func(i int, s *core.Noise) core.Point {
 		k := iaKs[i]
-		meas := core.Run(m, k.Trace(), sx4.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
+		meas := core.Run(m, k.Trace(), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
 		return core.Point{X: float64(k.N), Y: meas.MBps()}
 	})
 	iaSeries.Label = "IA"
 	xpKs := kernels.XposeSweep(perDecade)
 	xpSeries := sweepPoints(m, len(xpKs), noise, 2000, func(i int, s *core.Noise) core.Point {
 		k := xpKs[i]
-		meas := core.Run(m, k.Trace(), sx4.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
+		meas := core.Run(m, k.Trace(), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
 		return core.Point{X: float64(k.N), Y: meas.MBps()}
 	})
 	xpSeries.Label = "XPOSE"
@@ -273,7 +274,7 @@ func Fig5(m *sx4.Machine, perDecade int) core.Figure {
 }
 
 // Fig6 regenerates the RFFT performance curves (three length families).
-func Fig6(m *sx4.Machine) core.Figure {
+func Fig6(m target.Target) core.Figure {
 	noise := DefaultNoise()
 	f := core.Figure{
 		ID:     "fig6",
@@ -286,7 +287,7 @@ func Fig6(m *sx4.Machine) core.Figure {
 		s := sweepPoints(m, len(lengths), noise, int64(1000*fi), func(i int, st *core.Noise) core.Point {
 			n := lengths[i]
 			mm := fftpack.RFFTInstances(n)
-			meas := core.Run(m, fftpack.RFFTTrace(n, mm), sx4.RunOpts{Procs: 1}, 20, st, 0)
+			meas := core.Run(m, fftpack.RFFTTrace(n, mm), target.RunOpts{Procs: 1}, 20, st, 0)
 			return core.Point{X: float64(n), Y: fftpack.NominalMFLOPS(n, mm, meas.Seconds)}
 		})
 		s.Label = fam
@@ -297,7 +298,7 @@ func Fig6(m *sx4.Machine) core.Figure {
 
 // Fig7 regenerates the VFFT performance curves: for each length family
 // the curve at the largest instance count, plus the M sweep at N=256.
-func Fig7(m *sx4.Machine) core.Figure {
+func Fig7(m target.Target) core.Figure {
 	noise := DefaultNoise()
 	f := core.Figure{
 		ID:     "fig7",
@@ -309,7 +310,7 @@ func Fig7(m *sx4.Machine) core.Figure {
 		lengths := fftpack.VFFTLengths()[fam]
 		s := sweepPoints(m, len(lengths), noise, int64(1000*fi), func(i int, st *core.Noise) core.Point {
 			n := lengths[i]
-			meas := core.Run(m, fftpack.VFFTTrace(n, 500), sx4.RunOpts{Procs: 1}, 5, st, 0)
+			meas := core.Run(m, fftpack.VFFTTrace(n, 500), target.RunOpts{Procs: 1}, 5, st, 0)
 			return core.Point{X: float64(n), Y: fftpack.NominalMFLOPS(n, 500, meas.Seconds)}
 		})
 		s.Label = fam + " (M=500)"
@@ -317,7 +318,7 @@ func Fig7(m *sx4.Machine) core.Figure {
 	}
 	sweep := sweepPoints(m, len(fftpack.VFFTInstanceCounts), noise, 3000, func(i int, st *core.Noise) core.Point {
 		mm := fftpack.VFFTInstanceCounts[i]
-		meas := core.Run(m, fftpack.VFFTTrace(256, mm), sx4.RunOpts{Procs: 1}, 5, st, 0)
+		meas := core.Run(m, fftpack.VFFTTrace(256, mm), target.RunOpts{Procs: 1}, 5, st, 0)
 		return core.Point{X: float64(mm), Y: fftpack.NominalMFLOPS(256, mm, meas.Seconds)}
 	})
 	sweep.Label = "N=256, M sweep"
@@ -327,7 +328,7 @@ func Fig7(m *sx4.Machine) core.Figure {
 
 // Fig8 regenerates the CCM2 scalability figure: sustained GFLOPS versus
 // processor count for T42, T106 and T170.
-func Fig8(m *sx4.Machine) core.Figure {
+func Fig8(m target.Target) core.Figure {
 	f := core.Figure{
 		ID:     "fig8",
 		Title:  "CCM2 performance vs. processors (Cray-equivalent GFLOPS)",
@@ -348,16 +349,16 @@ func Fig8(m *sx4.Machine) core.Figure {
 // --- Scalar results ---
 
 // RADABSMFlops returns the single-CPU RADABS rate (paper: 865.9).
-func RADABSMFlops(m *sx4.Machine) float64 {
+func RADABSMFlops(m target.Target) float64 {
 	p := radabs.Trace(radabs.BenchmarkColumns, radabs.DefaultLevels)
-	return m.Run(p, sx4.RunOpts{Procs: 1}).MFLOPS()
+	return m.Run(p, target.RunOpts{Procs: 1}).MFLOPS()
 }
 
 // POPMFlops returns the single-CPU 2-degree POP rate (paper: 537).
-func POPMFlops(m *sx4.Machine) float64 { return pop.SustainedMFLOPS(m) }
+func POPMFlops(m target.Target) float64 { return pop.SustainedMFLOPS(m) }
 
 // Prodload runs the production-mix benchmark (paper: 93 m 28 s).
-func Prodload(m *sx4.Machine) prodload.Result { return prodload.Run(m) }
+func Prodload(m target.Target) prodload.Result { return prodload.Run(m) }
 
 // CorrectnessReport runs PARANOIA and ELEFUNT on the host arithmetic.
 type CorrectnessResult struct {

@@ -15,7 +15,7 @@ import (
 	"sx4bench/internal/nas"
 	"sx4bench/internal/prodload"
 	"sx4bench/internal/stream"
-	"sx4bench/internal/sx4"
+	"sx4bench/internal/target"
 )
 
 // Anchor is one numeric result the paper reports, with the model's
@@ -44,7 +44,7 @@ func (a Anchor) Pass() bool { return math.Abs(a.Deviation()) <= a.TolPct }
 // lands in its own slot, so the anchor list is deterministic for any
 // worker count (the machine model is pure and its timing cache is
 // concurrency-safe).
-func Anchors(m *sx4.Machine) []Anchor {
+func Anchors(m target.Target) []Anchor {
 	t42, _ := ccm2.ResolutionByName("T42L18")
 	t63, _ := ccm2.ResolutionByName("T63L18")
 	t170, _ := ccm2.ResolutionByName("T170L18")
@@ -89,7 +89,7 @@ func Anchors(m *sx4.Machine) []Anchor {
 // WriteReport renders a procurement-style findings document: every
 // category of the suite, the paper-versus-model anchors, and the
 // comparator contrast of Section 3.
-func WriteReport(w io.Writer, m *sx4.Machine) error {
+func WriteReport(w io.Writer, m target.Target) error {
 	p := func(format string, args ...any) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
@@ -130,7 +130,7 @@ func WriteReport(w io.Writer, m *sx4.Machine) error {
 		return err
 	}
 	if err := p("  LINPACK n=100 %7.0f MFLOPS, n=1000 %7.0f MFLOPS (peak %.0f)\n",
-		linpack.MFLOPS(m, 100), linpack.MFLOPS(m, 1000), m.Config().PeakFlopsPerCPU()/1e6); err != nil {
+		linpack.MFLOPS(m, 100), linpack.MFLOPS(m, 1000), m.Spec().PeakMFLOPSPerCPU); err != nil {
 		return err
 	}
 	for _, r := range stream.Run(m) {
@@ -150,17 +150,20 @@ func WriteReport(w io.Writer, m *sx4.Machine) error {
 
 	// Timing-cache characterization. The report must be byte-identical
 	// no matter how many experiments shared m or in what order they ran,
-	// so the counters come from a fresh probe machine driven through a
-	// fixed workload twice — a deterministic cold/warm contrast — rather
-	// than from m's live counters (figures -cachestats prints those).
-	probe := sx4.New(m.Config())
-	RADABSMFlops(probe)
-	cold := probe.CacheStats()
-	RADABSMFlops(probe)
-	warm := probe.CacheStats()
-	if err := p("\nTiming cache (fresh probe, RADABS twice): cold pass %d misses %d hits; warm pass +%d hits +%d misses\n",
-		cold.Misses, cold.Hits, warm.Hits-cold.Hits, warm.Misses-cold.Misses); err != nil {
-		return err
+	// so the counters come from a fresh probe machine (a cold Clone)
+	// driven through a fixed workload twice — a deterministic cold/warm
+	// contrast — rather than from m's live counters (figures -cachestats
+	// prints those).
+	probe := m.Clone()
+	if counted, ok := probe.(interface{ CacheStats() target.CacheStats }); ok {
+		RADABSMFlops(probe)
+		cold := counted.CacheStats()
+		RADABSMFlops(probe)
+		warm := counted.CacheStats()
+		if err := p("\nTiming cache (fresh probe, RADABS twice): cold pass %d misses %d hits; warm pass +%d hits +%d misses\n",
+			cold.Misses, cold.Hits, warm.Hits-cold.Hits, warm.Misses-cold.Misses); err != nil {
+			return err
+		}
 	}
 
 	verdict := "all anchors within bands"
@@ -196,12 +199,12 @@ func countPass(c CorrectnessResult) int {
 // ProfileTable renders the per-phase time breakdown of one CCM2 step —
 // where the simulated machine spends its cycles at a resolution and
 // processor count.
-func ProfileTable(m *sx4.Machine, resName string, procs int) (core.Table, error) {
+func ProfileTable(m target.Target, resName string, procs int) (core.Table, error) {
 	res, err := ccm2.ResolutionByName(resName)
 	if err != nil {
 		return core.Table{}, err
 	}
-	r := m.Run(ccm2.StepTrace(res), sx4.RunOpts{Procs: procs, ActiveCPUs: procs})
+	r := m.Run(ccm2.StepTrace(res), target.RunOpts{Procs: procs, ActiveCPUs: procs})
 	t := core.Table{
 		ID:      "profile-" + resName,
 		Title:   fmt.Sprintf("CCM2 %s step profile on %d CPUs", resName, procs),
@@ -212,7 +215,7 @@ func ProfileTable(m *sx4.Machine, resName string, procs int) (core.Table, error)
 		total += ph.Clocks
 	}
 	for _, ph := range r.Phases {
-		secs := m.Seconds(ph.Clocks)
+		secs := m.Spec().Seconds(ph.Clocks)
 		mf := 0.0
 		if secs > 0 {
 			mf = float64(ph.Flops) / secs / 1e6
@@ -233,7 +236,7 @@ func ProfileTable(m *sx4.Machine, resName string, procs int) (core.Table, error)
 }
 
 // MultiNodeTable renders the IXS projection for a resolution.
-func MultiNodeTable(m *sx4.Machine, resName string) (core.Table, error) {
+func MultiNodeTable(m target.Target, resName string) (core.Table, error) {
 	res, err := ccm2.ResolutionByName(resName)
 	if err != nil {
 		return core.Table{}, err

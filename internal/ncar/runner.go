@@ -7,21 +7,21 @@ import (
 	"sx4bench/internal/ccm2"
 	"sx4bench/internal/core"
 	"sx4bench/internal/mom"
-	"sx4bench/internal/sx4"
+	"sx4bench/internal/target"
 )
 
-// RunBenchmark executes one suite member by name against the machine
-// and writes its results: the library-side implementation of the
-// ncarbench command.
-func RunBenchmark(w io.Writer, m *sx4.Machine, name string, cpus int) error {
+// RunBenchmark executes one suite member by name against the target
+// machine and writes its results: the library-side implementation of
+// the ncarbench command. cpus <= 0 means the machine's full CPU count.
+func RunBenchmark(w io.Writer, m target.Target, name string, cpus int) error {
 	if m == nil {
-		return fmt.Errorf("ncar: nil machine for benchmark %q", name)
+		return fmt.Errorf("ncar: nil target for benchmark %q", name)
 	}
 	if _, err := ByName(name); err != nil {
 		return err
 	}
 	if cpus <= 0 {
-		cpus = m.Config().CPUs
+		cpus = m.Spec().CPUs
 	}
 	switch name {
 	case "PARANOIA", "ELEFUNT":
@@ -43,8 +43,8 @@ func RunBenchmark(w io.Writer, m *sx4.Machine, name string, cpus int) error {
 	case "VFFT":
 		return core.WriteFigure(w, Fig7(m))
 	case "RADABS":
-		if _, err := fmt.Fprintf(w, "RADABS (SX-4/1): %.1f Y-MP equivalent MFLOPS (paper: 865.9)\n",
-			RADABSMFlops(m)); err != nil {
+		if _, err := fmt.Fprintf(w, "RADABS (%s): %.1f Y-MP equivalent MFLOPS (paper on SX-4/1: 865.9)\n",
+			m.Name(), RADABSMFlops(m)); err != nil {
 			return err
 		}
 		return core.WriteTable(w, Table3(m))
@@ -90,13 +90,13 @@ func RunBenchmark(w io.Writer, m *sx4.Machine, name string, cpus int) error {
 		}
 		return core.WriteTable(w, Table6(m))
 	case "MOM":
-		if _, err := fmt.Fprintf(w, "MOM 1-degree sustained (1 CPU): %.0f MFLOPS\n",
-			mom.SustainedMFLOPS(m)); err != nil {
+		if _, err := fmt.Fprintf(w, "MOM 1-degree sustained (%s, 1 CPU): %.0f MFLOPS\n",
+			m.Name(), mom.SustainedMFLOPS(m)); err != nil {
 			return err
 		}
 		return core.WriteTable(w, Table7(m))
 	case "POP":
-		_, err := fmt.Fprintf(w, "POP 2-degree (SX-4/1): %.0f MFLOPS (paper: 537)\n", POPMFlops(m))
+		_, err := fmt.Fprintf(w, "POP 2-degree (%s): %.0f MFLOPS (paper on SX-4/1: 537)\n", m.Name(), POPMFlops(m))
 		return err
 	}
 	return fmt.Errorf("ncar: no runner for %q", name)

@@ -27,18 +27,21 @@ func TestRunBenchmarkUnknownName(t *testing.T) {
 	}
 }
 
-func TestRunBenchmarkNilMachine(t *testing.T) {
+func TestRunBenchmarkNilTarget(t *testing.T) {
 	var buf bytes.Buffer
 	err := RunBenchmark(&buf, nil, "RADABS", 1)
 	if err == nil {
-		t.Fatal("RunBenchmark with nil machine did not error")
+		t.Fatal("RunBenchmark with nil target did not error")
 	}
-	if !strings.Contains(err.Error(), "nil machine") {
-		t.Errorf("nil-machine error = %q, want mention of nil machine", err)
+	if !strings.Contains(err.Error(), "nil target") {
+		t.Errorf("nil-target error = %q, want mention of nil target", err)
 	}
 	// The guard must win even for an unknown name: no panic either way.
 	if err := RunBenchmark(&buf, nil, "NOSUCH", 1); err == nil {
 		t.Error("RunBenchmark(nil, unknown) did not error")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil target wrote %d bytes of output", buf.Len())
 	}
 }
 

@@ -3,8 +3,8 @@ package pop
 import (
 	"fmt"
 
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // Trace parameters for one 2-degree time step. The characteristic of
@@ -104,16 +104,16 @@ func StepFlops(cfg Config) int64 { return StepTrace(cfg).Flops() }
 
 // SustainedMFLOPS returns the single-processor rate of the 2-degree
 // benchmark — the paper's 537 MFLOPS observation.
-func SustainedMFLOPS(m *sx4.Machine) float64 {
-	r := m.Run(StepTrace(TwoDegree), sx4.RunOpts{Procs: 1})
+func SustainedMFLOPS(m target.Target) float64 {
+	r := m.Run(StepTrace(TwoDegree), target.RunOpts{Procs: 1})
 	return r.MFLOPS()
 }
 
 // VectorizedCSHIFTSpeedup models the headroom the paper alludes to: if
 // CSHIFT vectorized (as a strided vector copy), how much faster would
 // the step run?
-func VectorizedCSHIFTSpeedup(m *sx4.Machine) float64 {
-	base := m.Run(StepTrace(TwoDegree), sx4.RunOpts{Procs: 1}).Seconds
+func VectorizedCSHIFTSpeedup(m target.Target) float64 {
+	base := m.Run(StepTrace(TwoDegree), target.RunOpts{Procs: 1}).Seconds
 
 	fixed := StepTrace(TwoDegree)
 	n := TwoDegree.NLon * TwoDegree.NLat
@@ -121,6 +121,6 @@ func VectorizedCSHIFTSpeedup(m *sx4.Machine) float64 {
 		{Class: prog.VLoad, VL: n, Stride: 1},
 		{Class: prog.VStore, VL: n, Stride: 1},
 	}
-	improved := m.Run(fixed, sx4.RunOpts{Procs: 1}).Seconds
+	improved := m.Run(fixed, target.RunOpts{Procs: 1}).Seconds
 	return base / improved
 }

@@ -24,8 +24,8 @@ import (
 	"sx4bench/internal/ccm2"
 	"sx4bench/internal/iobench"
 	"sx4bench/internal/superux"
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/iop"
+	"sx4bench/internal/target"
 )
 
 // HIPPIVolumeBytes is the data moved by the HIPPI component of a job.
@@ -53,7 +53,7 @@ func (j JobTimes) Max() float64 {
 // jobComponents sizes one job inside a sequence that owns blockCPUs
 // processors: the T106 run gets the large share, the two T42 runs a
 // quarter each, and the HIPPI test one CPU.
-func jobComponents(m *sx4.Machine, blockCPUs int) JobTimes {
+func jobComponents(m target.Target, blockCPUs int) JobTimes {
 	t42CPUs := blockCPUs / 4
 	if t42CPUs < 1 {
 		t42CPUs = 1
@@ -62,7 +62,7 @@ func jobComponents(m *sx4.Machine, blockCPUs int) JobTimes {
 	if t106CPUs < 1 {
 		t106CPUs = 1
 	}
-	active := m.Config().CPUs // the node is fully loaded during PRODLOAD
+	active := m.Spec().CPUs // the node is fully loaded during PRODLOAD
 
 	t106, _ := ccm2.ResolutionByName("T106L18")
 	t42, _ := ccm2.ResolutionByName("T42L18")
@@ -84,9 +84,15 @@ func (r Result) TotalMinutes() float64 { return r.TotalSeconds / 60 }
 
 // runSequencedTest schedules `sequences` concurrent sequences of four
 // jobs each on the superux scheduler and returns the makespan.
-func runSequencedTest(m *sx4.Machine, sequences int) float64 {
-	nodeCPUs := m.Config().CPUs
+func runSequencedTest(m target.Target, sequences int) float64 {
+	nodeCPUs := m.Spec().CPUs
 	blockCPUs := nodeCPUs / sequences
+	if blockCPUs < 1 {
+		// Machines with fewer CPUs than sequences (the uniprocessor
+		// comparators) time-share one CPU per block; the scheduler
+		// needs a positive allocation.
+		blockCPUs = 1
+	}
 	var blocks []superux.ResourceBlock
 	for s := 0; s < sequences; s++ {
 		blocks = append(blocks, superux.ResourceBlock{
@@ -116,14 +122,17 @@ func runSequencedTest(m *sx4.Machine, sequences int) float64 {
 }
 
 // runTest4 models two concurrent 2-day T170 runs on half the node each.
-func runTest4(m *sx4.Machine) float64 {
+func runTest4(m target.Target) float64 {
 	t170, _ := ccm2.ResolutionByName("T170L18")
-	half := m.Config().CPUs / 2
-	return ccm2.SimDays(m, t170, 2, half, m.Config().CPUs)
+	half := m.Spec().CPUs / 2
+	if half < 1 {
+		half = 1
+	}
+	return ccm2.SimDays(m, t170, 2, half, m.Spec().CPUs)
 }
 
 // Run executes the full PRODLOAD benchmark on the machine.
-func Run(m *sx4.Machine) Result {
+func Run(m target.Target) Result {
 	r := Result{
 		Test1: runSequencedTest(m, 1),
 		Test2: runSequencedTest(m, 2),
@@ -135,6 +144,10 @@ func Run(m *sx4.Machine) Result {
 }
 
 // Components exposes the per-job component times for reporting.
-func Components(m *sx4.Machine, sequences int) JobTimes {
-	return jobComponents(m, m.Config().CPUs/sequences)
+func Components(m target.Target, sequences int) JobTimes {
+	blockCPUs := m.Spec().CPUs / sequences
+	if blockCPUs < 1 {
+		blockCPUs = 1
+	}
+	return jobComponents(m, blockCPUs)
 }

@@ -10,8 +10,8 @@ package stream
 import (
 	"fmt"
 
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // Kernel names, in benchmark order.
@@ -103,10 +103,10 @@ type Result struct {
 }
 
 // Run measures all four kernels on a machine at the default size.
-func Run(m *sx4.Machine) []Result {
+func Run(m target.Target) []Result {
 	out := make([]Result, 0, 4)
 	for _, k := range Kernels {
-		r := m.Run(Trace(k, DefaultN), sx4.RunOpts{Procs: 1})
+		r := m.Run(Trace(k, DefaultN), target.RunOpts{Procs: 1})
 		out = append(out, Result{Kernel: k, MBps: float64(bytesMoved(k, DefaultN)) / r.Seconds / 1e6})
 	}
 	return out

@@ -3,102 +3,19 @@ package sx4
 import (
 	"fmt"
 	"hash/fnv"
-	"sync"
-	"sync/atomic"
 
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // The machine model is a pure function: for a fixed configuration, a
 // given (program, RunOpts) pair always simulates to the same Result.
-// The experiment runners exploit no such thing on their own — the
-// KTRIES best-of-k rule re-times every trace k times, and the tables
-// and figures re-time the same COPY/IA/XPOSE/FFT traces at overlapping
-// (N, M) points. The timing cache memoizes evaluations so each
-// distinct trace is simulated once per machine; the jitter the KTRIES
-// rule smooths is applied by core.Noise *outside* the simulation, so
-// caching does not change any reported number.
-
-// runKey identifies one memoizable evaluation.
-type runKey struct {
-	config  uint64 // configuration fingerprint
-	program uint64 // prog.Program fingerprint
-	opts    RunOpts
-}
+// Timing memoization therefore cannot change any reported number; see
+// target.Memo (where the memo implementation lives, shared with the
+// comparison-machine models) for the full rationale.
 
 // CacheStats reports timing-cache effectiveness counters.
-type CacheStats struct {
-	Hits, Misses uint64
-	// Entries is the number of memoized results currently held. Every
-	// held entry is keyed on the machine's current config fingerprint:
-	// SetConfig and SetCache sweep out entries keyed on a stale one.
-	Entries int
-}
-
-// HitRate returns the fraction of lookups served from the cache.
-func (s CacheStats) HitRate() float64 {
-	if s.Hits+s.Misses == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
-}
-
-func (s CacheStats) String() string {
-	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d entries",
-		s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
-}
-
-// timingCache is a concurrency-safe memo of simulated results.
-type timingCache struct {
-	mu     sync.RWMutex
-	m      map[runKey]Result
-	hits   atomic.Uint64
-	misses atomic.Uint64
-}
-
-func newTimingCache() *timingCache {
-	return &timingCache{m: make(map[runKey]Result)}
-}
-
-func (c *timingCache) lookup(k runKey) (Result, bool) {
-	c.mu.RLock()
-	r, ok := c.m[k]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
-	}
-	return r, ok
-}
-
-func (c *timingCache) store(k runKey, r Result) {
-	c.mu.Lock()
-	c.m[k] = r
-	c.mu.Unlock()
-}
-
-func (c *timingCache) stats() CacheStats {
-	c.mu.RLock()
-	n := len(c.m)
-	c.mu.RUnlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
-}
-
-// dropStale deletes every memoized entry whose key carries a config
-// fingerprint other than current. Such entries can never be looked up
-// again (the current fingerprint is part of every future key), so after
-// a reconfiguration they are pure dead weight — and, worse, a coherence
-// hazard should the fingerprint field ever go stale alongside them.
-func (c *timingCache) dropStale(current uint64) {
-	c.mu.Lock()
-	for k := range c.m {
-		if k.config != current {
-			delete(c.m, k)
-		}
-	}
-	c.mu.Unlock()
-}
+type CacheStats = target.CacheStats
 
 // configFingerprint hashes every field of the configuration. Any
 // calibration change invalidates all cached timings (the invalidation
@@ -125,7 +42,7 @@ func (m *Machine) SetConfig(cfg Config) error {
 		return err
 	}
 	if m.cache != nil {
-		m.cache.dropStale(m.fingerprint)
+		m.cache.DropStale(m.fingerprint)
 	}
 	return nil
 }
@@ -139,10 +56,10 @@ func (m *Machine) SetConfig(cfg Config) error {
 func (m *Machine) SetCache(enabled bool) {
 	if enabled {
 		if m.cache == nil {
-			m.cache = newTimingCache()
+			m.cache = target.NewMemo()
 			return
 		}
-		m.cache.dropStale(m.fingerprint)
+		m.cache.DropStale(m.fingerprint)
 		return
 	}
 	m.cache = nil
@@ -154,15 +71,7 @@ func (m *Machine) CacheStats() CacheStats {
 	if m.cache == nil {
 		return CacheStats{}
 	}
-	return m.cache.stats()
-}
-
-// copyResult returns a deep copy so cached Phases cannot be aliased by
-// concurrent callers.
-func copyResult(r Result) Result {
-	out := r
-	out.Phases = append([]PhaseTime(nil), r.Phases...)
-	return out
+	return m.cache.Stats()
 }
 
 // runCached consults the memo before simulating, and is safe for
@@ -171,11 +80,11 @@ func (m *Machine) runCached(p prog.Program, opts RunOpts) (Result, bool) {
 	if m.cache == nil {
 		return Result{}, false
 	}
-	k := runKey{config: m.fingerprint, program: p.Fingerprint(), opts: opts}
-	if r, ok := m.cache.lookup(k); ok {
-		return copyResult(r), true
+	k := target.MemoKey{Config: m.fingerprint, Program: p.Fingerprint(), Opts: opts}
+	if r, ok := m.cache.Lookup(k); ok {
+		return r, true
 	}
 	r := m.simulate(p, opts)
-	m.cache.store(k, copyResult(r))
+	m.cache.Store(k, r)
 	return r, true
 }

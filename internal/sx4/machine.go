@@ -6,6 +6,7 @@ import (
 
 	"sx4bench/internal/sx4/membank"
 	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
 )
 
 // DefaultIntrinsicClocks gives the sustained cost, in clocks per
@@ -31,58 +32,18 @@ var DefaultIntrinsicClocks = [prog.NumIntrinsics]float64{
 // the add/multiply rate (2 results per clock on the SX-4's 8 pipes).
 func divElemsPerClock(pipes int) float64 { return float64(pipes) / 4.0 }
 
+// The run vocabulary lives in the machine-agnostic package target (the
+// leaf every execution layer shares); the aliases keep the historical
+// sx4.RunOpts / sx4.Result spellings working unchanged.
+
 // RunOpts controls one simulated execution.
-type RunOpts struct {
-	// Procs is the number of CPUs assigned to the program (within one
-	// node). Zero means 1.
-	Procs int
-	// ActiveCPUs is the total number of busy CPUs on the node during
-	// the run, including this program's. It exceeds Procs when other
-	// jobs share the node (the ensemble and PRODLOAD tests). Zero
-	// means Procs.
-	ActiveCPUs int
-}
+type RunOpts = target.RunOpts
 
 // PhaseTime reports the simulated cost of one program phase.
-type PhaseTime struct {
-	Name     string
-	Clocks   float64
-	Flops    int64
-	Words    int64
-	Serial   bool
-	MemBound bool
-}
+type PhaseTime = target.PhaseTime
 
 // Result is the outcome of a simulated run.
-type Result struct {
-	Program string
-	Procs   int
-	Clocks  float64
-	Seconds float64
-	Flops   int64
-	Words   int64
-	Phases  []PhaseTime
-}
-
-// MFLOPS returns the achieved rate in millions of (Y-MP-equivalent)
-// floating-point operations per second.
-func (r Result) MFLOPS() float64 {
-	if r.Seconds == 0 {
-		return 0
-	}
-	return float64(r.Flops) / r.Seconds / 1e6
-}
-
-// GFLOPS returns the achieved rate in GFLOPS.
-func (r Result) GFLOPS() float64 { return r.MFLOPS() / 1e3 }
-
-// PortMBps returns the memory-port traffic rate in MB/s.
-func (r Result) PortMBps() float64 {
-	if r.Seconds == 0 {
-		return 0
-	}
-	return float64(r.Words*8) / r.Seconds / 1e6
-}
+type Result = target.Result
 
 // Machine executes operation traces against an SX-4 configuration. It
 // is safe for concurrent use: runs are pure functions of the (immutable
@@ -93,8 +54,11 @@ type Machine struct {
 	intrinsic [prog.NumIntrinsics]float64 // clocks per element
 
 	fingerprint uint64       // configFingerprint(cfg), cache key part
-	cache       *timingCache // memoized trace timings; nil disables
+	cache       *target.Memo // memoized trace timings; nil disables
 }
+
+// Machine implements target.Target.
+var _ target.Target = (*Machine)(nil)
 
 // New returns a machine for the given configuration.
 func New(cfg Config) *Machine {
@@ -102,7 +66,7 @@ func New(cfg Config) *Machine {
 	if err := m.setConfig(cfg); err != nil {
 		panic(err)
 	}
-	m.cache = newTimingCache()
+	m.cache = target.NewMemo()
 	return m
 }
 
@@ -135,6 +99,38 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // Name returns the configuration name.
 func (m *Machine) Name() string { return m.cfg.Name }
+
+// Scalar returns the SX-4 scalar-path description: a superscalar unit
+// with a 4-way set-associative data cache in front of the banked main
+// memory (unlike the Crays, which have none).
+func (m *Machine) Scalar() target.ScalarProfile {
+	return target.ScalarProfile{
+		ClockNS:            m.cfg.ClockNS,
+		IssuePerClock:      float64(m.cfg.ScalarIssuePerClock),
+		HasCache:           true,
+		CacheWordsPerClock: 1,
+		MemClocksPerWord:   8,
+	}
+}
+
+// Spec returns the machine's specification sheet.
+func (m *Machine) Spec() target.Spec {
+	return target.Spec{
+		CPUs:             m.cfg.CPUs,
+		Nodes:            m.cfg.Nodes,
+		ClockNS:          m.cfg.ClockNS,
+		PeakMFLOPSPerCPU: m.cfg.PeakFlopsPerCPU() / 1e6,
+		DiskBytesPerSec:  m.cfg.DiskBytesPerSec,
+	}
+}
+
+// Fingerprint returns the configuration fingerprint (the timing-memo
+// key component).
+func (m *Machine) Fingerprint() uint64 { return m.fingerprint }
+
+// Clone returns a fresh machine with the same configuration and a cold
+// timing memo.
+func (m *Machine) Clone() target.Target { return New(m.cfg) }
 
 // tripCost is the resource usage of one trip of a loop body.
 type tripCost struct {

@@ -3,6 +3,8 @@ package sx4
 import (
 	"reflect"
 	"testing"
+
+	"sx4bench/internal/target"
 )
 
 // TestSetConfigInvalidatesMemo is the cache-coherence regression test:
@@ -83,8 +85,8 @@ func TestSetCacheSweepsStaleFingerprints(t *testing.T) {
 
 	// Plant an entry under a foreign config fingerprint, as a buggy
 	// reconfiguration path would have left behind.
-	stale := runKey{config: m.fingerprint ^ 1, program: 42, opts: RunOpts{Procs: 1}}
-	m.cache.store(stale, Result{Program: "stale"})
+	stale := target.MemoKey{Config: m.fingerprint ^ 1, Program: 42, Opts: RunOpts{Procs: 1}}
+	m.cache.Store(stale, Result{Program: "stale"})
 	if s := m.CacheStats(); s.Entries != 2 {
 		t.Fatalf("setup: %+v, want 2 entries", s)
 	}
@@ -94,7 +96,7 @@ func TestSetCacheSweepsStaleFingerprints(t *testing.T) {
 	if s.Entries != 1 {
 		t.Fatalf("SetCache(true) kept %d entries, want 1 (stale fingerprint swept)", s.Entries)
 	}
-	if _, ok := m.cache.lookup(stale); ok {
+	if _, ok := m.cache.Lookup(stale); ok {
 		t.Error("stale-fingerprint entry survived SetCache(true)")
 	}
 }

@@ -1,0 +1,109 @@
+package target
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Every backend's model is a pure function: for a fixed configuration,
+// a given (program, RunOpts) pair always simulates to the same Result.
+// The experiment runners exploit no such thing on their own — the
+// KTRIES best-of-k rule re-times every trace k times, and the tables
+// and figures re-time the same COPY/IA/XPOSE/FFT traces at overlapping
+// (N, M) points. The Memo memoizes evaluations so each distinct trace
+// is simulated once per machine; the jitter the KTRIES rule smooths is
+// applied by core.Noise *outside* the simulation, so caching does not
+// change any reported number. The key carries the target's config
+// fingerprint, so warm-cache results stay byte-identical across
+// backends and reconfigurations.
+
+// MemoKey identifies one memoizable evaluation.
+type MemoKey struct {
+	// Config is the target's configuration fingerprint
+	// (Target.Fingerprint), Program the trace fingerprint
+	// (prog.Program.Fingerprint).
+	Config  uint64
+	Program uint64
+	Opts    RunOpts
+}
+
+// CacheStats reports timing-memo effectiveness counters.
+type CacheStats struct {
+	Hits, Misses uint64
+	// Entries is the number of memoized results currently held. Every
+	// held entry is keyed on the machine's current config fingerprint:
+	// reconfiguration sweeps out entries keyed on a stale one.
+	Entries int
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d entries",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
+}
+
+// Memo is a concurrency-safe memo of simulated results, shared by the
+// SX-4 engine and the comparison-machine models.
+type Memo struct {
+	mu     sync.RWMutex
+	m      map[MemoKey]Result
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	return &Memo{m: make(map[MemoKey]Result)}
+}
+
+// Lookup returns the memoized result for k, counting a hit or miss.
+// The returned Result is a deep copy; callers may alias it freely.
+func (c *Memo) Lookup(k MemoKey) (Result, bool) {
+	c.mu.RLock()
+	r, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return r.Clone(), true
+	}
+	c.misses.Add(1)
+	return Result{}, false
+}
+
+// Store memoizes a result under k (deep-copied on the way in).
+func (c *Memo) Store(k MemoKey, r Result) {
+	c.mu.Lock()
+	c.m[k] = r.Clone()
+	c.mu.Unlock()
+}
+
+// Stats returns the memo's counters.
+func (c *Memo) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// DropStale deletes every memoized entry whose key carries a config
+// fingerprint other than current. Such entries can never be looked up
+// again (the current fingerprint is part of every future key), so after
+// a reconfiguration they are pure dead weight — and, worse, a coherence
+// hazard should the fingerprint field ever go stale alongside them.
+func (c *Memo) DropStale(current uint64) {
+	c.mu.Lock()
+	for k := range c.m {
+		if k.Config != current {
+			delete(c.m, k)
+		}
+	}
+	c.mu.Unlock()
+}

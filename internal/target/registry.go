@@ -1,0 +1,83 @@
+package target
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The registry maps short machine names ("ymp", "sx4-32") to target
+// constructors. The concrete machine packages register themselves
+// (package machine registers every Table 1 comparator and the SX-4
+// configurations in its init), so everything above selects backends by
+// name — the "-machine" flag of the CLIs — and no package outside the
+// registry constructors ever builds a concrete machine type.
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Target{}
+	regOrder []string
+)
+
+// Register adds a named target constructor. Names are case-insensitive
+// and must be unique; the constructor must return a fresh, independent
+// target on every call. Register panics on a duplicate, empty or
+// reserved name or a nil constructor — registration happens in package
+// inits, where a panic is a programming error surfacing at startup.
+func Register(name string, ctor func() Target) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" || key == "all" {
+		panic(fmt.Sprintf("target: invalid machine name %q", name))
+	}
+	if ctor == nil {
+		panic(fmt.Sprintf("target: nil constructor for machine %q", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("target: duplicate machine name %q", name))
+	}
+	registry[key] = ctor
+	regOrder = append(regOrder, key)
+}
+
+// Lookup constructs a fresh instance of the named machine. Names are
+// case-insensitive. Unknown names return an error listing every
+// registered machine.
+func Lookup(name string) (Target, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	regMu.RLock()
+	ctor, ok := registry[key]
+	regMu.RUnlock()
+	if !ok {
+		known := All()
+		sort.Strings(known)
+		return nil, fmt.Errorf("target: unknown machine %q (known: %s)",
+			name, strings.Join(known, ", "))
+	}
+	t := ctor()
+	if t == nil {
+		return nil, fmt.Errorf("target: constructor for machine %q returned nil", name)
+	}
+	return t, nil
+}
+
+// MustLookup is Lookup for names known to be registered; it panics on
+// error.
+func MustLookup(name string) Target {
+	t, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// All returns every registered machine name in registration order —
+// the canonical column order of the cross-machine tables (the paper's
+// Table 1 order, then the SX-4 configurations).
+func All() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}

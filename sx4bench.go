@@ -19,8 +19,10 @@ import (
 
 	"sx4bench/internal/core"
 	"sx4bench/internal/core/sched"
+	"sx4bench/internal/machine"
 	"sx4bench/internal/ncar"
 	"sx4bench/internal/sx4"
+	"sx4bench/internal/target"
 )
 
 // Machine is the SX-4 performance model (see internal/sx4).
@@ -28,6 +30,18 @@ type Machine = sx4.Machine
 
 // Config describes an SX-4 system configuration.
 type Config = sx4.Config
+
+// Target is the machine-agnostic execution interface every modeled
+// system satisfies (see internal/target). Lookup resolves a registry
+// name ("ymp", "sx4-32", ...) to a fresh instance; Machines lists the
+// registered names in canonical cross-machine column order.
+type Target = target.Target
+
+// Lookup resolves a registered machine name to a fresh Target.
+func Lookup(name string) (Target, error) { return target.Lookup(name) }
+
+// Machines returns the registered machine names in canonical order.
+func Machines() []string { return target.All() }
 
 // Table and Figure are rendered experiment results.
 type (
@@ -37,11 +51,11 @@ type (
 
 // Benchmarked returns the system measured in the paper: an SX-4/32
 // with the 9.2 ns pre-production clock (Table 2).
-func Benchmarked() *Machine { return sx4.New(sx4.Benchmarked()) }
+func Benchmarked() *Machine { return machine.SX4Benchmarked() }
 
 // Production returns an SX-4 with the production 8.0 ns clock, cpus
 // processors per node and the given node count (joined by the IXS).
-func Production(cpus, nodes int) *Machine { return sx4.New(sx4.NewConfig(cpus, nodes)) }
+func Production(cpus, nodes int) *Machine { return machine.SX4Production(cpus, nodes) }
 
 // Experiments lists the regenerable experiment identifiers.
 func Experiments() []string {
@@ -49,13 +63,13 @@ func Experiments() []string {
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig5", "fig6", "fig7", "fig8",
 		"radabs", "pop", "prodload", "correctness", "io",
-		"multinode", "report", "profile",
+		"multinode", "report", "profile", "crossmachine",
 	}
 }
 
 // RunExperiment regenerates one paper experiment by identifier and
 // writes it as text to w.
-func RunExperiment(w io.Writer, m *Machine, id string) error {
+func RunExperiment(w io.Writer, m Target, id string) error {
 	switch id {
 	case "table1":
 		return core.WriteTable(w, ncar.Table1())
@@ -142,9 +156,15 @@ func RunExperiment(w io.Writer, m *Machine, id string) error {
 		return nil
 	case "report":
 		return ncar.WriteReport(w, m)
+	case "crossmachine":
+		tab, err := ncar.CrossMachineTable()
+		if err != nil {
+			return err
+		}
+		return core.WriteTable(w, tab)
 	case "profile":
 		for _, res := range []string{"T42L18", "T170L18"} {
-			tab, err := ncar.ProfileTable(m, res, m.Config().CPUs)
+			tab, err := ncar.ProfileTable(m, res, m.Spec().CPUs)
 			if err != nil {
 				return err
 			}
@@ -160,7 +180,7 @@ func RunExperiment(w io.Writer, m *Machine, id string) error {
 // RunAll regenerates every experiment in order, fanning the work
 // across runtime.GOMAXPROCS(0) workers. The output stream is
 // byte-identical to running the experiments serially.
-func RunAll(w io.Writer, m *Machine) error {
+func RunAll(w io.Writer, m Target) error {
 	return RunAllWorkers(w, m, 0)
 }
 
@@ -171,7 +191,7 @@ func RunAll(w io.Writer, m *Machine) error {
 // worker count; an experiment's error does not cancel the others, and
 // the first failing experiment (in order) determines where the stream
 // stops and which error is returned — exactly the serial behaviour.
-func RunAllWorkers(w io.Writer, m *Machine, workers int) error {
+func RunAllWorkers(w io.Writer, m Target, workers int) error {
 	var tasks []sched.Task
 	for _, id := range Experiments() {
 		id := id
