@@ -2,15 +2,29 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-baseline ci smoke examples figures report clean goldens goldens-check fuzz-smoke cover
+.PHONY: all build vet lint test test-short race race-full bench bench-baseline ci smoke examples figures report clean goldens goldens-check fuzz-smoke cover
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# sx4lint enforces the repo's determinism, layering and
+# golden-stability invariants (see DESIGN.md, "Static analysis").
+# Both entry points run: the standalone multichecker, and the same
+# binary driven by go vet's -vettool protocol (which caches per
+# package in the build cache).
+SX4LINT_SRCS := go.mod $(wildcard cmd/sx4lint/*.go) $(shell find internal/analysis -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
+
+bin/sx4lint: $(SX4LINT_SRCS)
+	$(GO) build -o $@ ./cmd/sx4lint
+
+lint: bin/sx4lint
+	./bin/sx4lint ./...
+	$(GO) vet -vettool=$(abspath bin/sx4lint) ./...
 
 test:
 	$(GO) test ./...
@@ -19,21 +33,28 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race -short ./internal/sx4/commreg/ ./internal/slt/ ./internal/ccm2/ ./internal/mom/
+	$(GO) test -race -short ./...
+
+race-full:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # What CI runs (see .github/workflows/ci.yml): vet (plus staticcheck
-# when installed — CI installs it, local runs skip it gracefully),
-# build, the full test suite under the race detector, the
-# golden-artifact check, and the cross-machine smoke sweep.
+# and govulncheck when installed — CI installs them, local runs skip
+# them gracefully), sx4lint, build, the full test suite under the race
+# detector, the golden-artifact check, and the cross-machine smoke
+# sweep.
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipping (CI installs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI installs it)"; fi
+	$(MAKE) lint
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(MAKE) race-full
 	$(GO) run ./cmd/goldens
 	$(GO) run ./cmd/ncarbench -machine all -short
 

@@ -13,12 +13,11 @@ import (
 	"sx4bench/internal/core"
 	"sx4bench/internal/hint"
 	"sx4bench/internal/linpack"
-	"sx4bench/internal/machine"
 	"sx4bench/internal/nas"
 	"sx4bench/internal/ncar"
 	"sx4bench/internal/radabs"
 	"sx4bench/internal/stream"
-	"sx4bench/internal/sx4"
+	"sx4bench/internal/target"
 )
 
 func main() {
@@ -43,7 +42,7 @@ func main() {
 	}
 	p := radabs.Trace(radabs.BenchmarkColumns, radabs.DefaultLevels)
 	fmt.Printf("  RADABS  %7.1f MFLOPS  <- the suite's own ceiling for climate codes\n",
-		m.Run(p, sx4.RunOpts{Procs: 1}).MFLOPS())
+		m.Run(p, target.RunOpts{Procs: 1}).MFLOPS())
 
 	// STREAM: a single fixed-size point per kernel.
 	fmt.Println("\nSTREAM on the SX-4/1 model (single fixed size; the NCAR kernels sweep sizes):")
@@ -60,10 +59,10 @@ func main() {
 		ep.Pairs, 100*float64(ep.Pairs)/100000)
 
 	// The punchline.
-	sparc := machine.SunSparc20()
-	ymp := machine.CrayYMP()
+	sparc := target.MustLookup("sparc20")
+	ymp := target.MustLookup("ymp")
 	fmt.Printf("\nconclusion: HINT rates the %s above the %s, RADABS says the opposite by %.0fx —\n",
 		sparc.Name(), ymp.Name(),
-		ymp.Run(p, sx4.RunOpts{Procs: 1}).MFLOPS()/sparc.Run(p, sx4.RunOpts{Procs: 1}).MFLOPS())
+		ymp.Run(p, target.RunOpts{Procs: 1}).MFLOPS()/sparc.Run(p, target.RunOpts{Procs: 1}).MFLOPS())
 	fmt.Println("a procurement for climate modeling needs workload-derived benchmarks.")
 }

@@ -1,0 +1,94 @@
+// Package analysis is a self-contained static-analysis framework
+// mirroring the golang.org/x/tools/go/analysis API surface on the
+// standard library alone (this repository builds offline, so the
+// x/tools module is not available). It powers sx4lint, the vettool
+// that promotes the repository's determinism, layering and
+// golden-stability invariants from "caught by a golden diff after the
+// fact" to "rejected at build time".
+//
+// The shape is the familiar one: an Analyzer owns a Run function over
+// a Pass; a Pass exposes the parsed and type-checked package and
+// collects Diagnostics. Packages load through `go list -export`, with
+// imports resolved from compiler export data (see load.go), so every
+// analyzer sees fully type-checked syntax. The analysistest
+// subpackage runs analyzers over fixture trees with // want
+// expectations, exactly like its x/tools namesake.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line and diagnostic identifier.
+	Name string
+	// Doc is the one-paragraph help text: the invariant enforced and
+	// why it exists.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax (non-test files only: the
+	// invariants sx4lint enforces are production-code invariants, and
+	// tests legitimately construct concrete machines, wall clocks and
+	// throwaway rand streams).
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// PathBase returns the last element of an import path.
+func PathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// IsPkgFunc reports whether obj is the package-level function
+// pkgpath.name (methods have a receiver and never match).
+func IsPkgFunc(obj types.Object, pkgpath string) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgpath {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,113 @@
+// Package analysistest runs analyzers over fixture packages and
+// checks their diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in GOPATH-style trees: <testdata>/src/<importpath>/
+// holds the package's .go files, and the import path is the directory
+// path relative to src. Fixtures therefore mimic real module paths
+// ("sx4bench/internal/ncar"), so analyzers whose scope is keyed on
+// import paths are exercised with the paths they will see in the
+// repository. A line expecting a diagnostic carries a comment
+//
+//	// want `regexp`
+//
+// (one or more, double- or back-quoted); every diagnostic must match a
+// want on its line and every want must be matched.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sx4bench/internal/analysis"
+)
+
+// Run loads each fixture package and applies the analyzer.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := analysis.LoadFixture(dir, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				i := strings.Index(text, "want ")
+				if i < 0 || strings.TrimSpace(text[:i]) != "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range quoted(text[i+len("want "):]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{pos.Filename, pos.Line, re, false})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic matching %q", token.Position{Filename: w.file, Line: w.line}, w.re)
+		}
+	}
+}
+
+// quoted extracts consecutive double- or back-quoted strings.
+func quoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		q := s[0]
+		if q != '"' && q != '`' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+}

@@ -1,0 +1,161 @@
+// Package goldenfmt polices float formatting in the golden-producing
+// packages.
+//
+// The %v and %g verbs render a float64 in "shortest round-trip" form
+// — an implementation detail of package fmt, not a format the
+// repository chose. Every number that reaches a byte-exact golden
+// artifact (Tables 1-7, Figures 5-8, the anchors) must instead go
+// through an explicit formatter: a fixed-precision %f verb, or the
+// canonical helpers core.Float / core.Fixed. The analyzer flags %v,
+// %g and %G applied to float arguments in fmt format calls inside the
+// golden-producing packages (core, ncar, check, the facade and the
+// cmds).
+package goldenfmt
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"sx4bench/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goldenfmt",
+	Doc:  "forbid %v/%g on floats in golden-producing packages; use fixed-width verbs or core.Float/core.Fixed",
+	Run:  run,
+}
+
+func inScope(path string) bool {
+	switch {
+	case path == "sx4bench":
+		return true
+	case strings.HasPrefix(path, "sx4bench/cmd/"):
+		return true
+	case strings.HasPrefix(path, "sx4bench/internal/core"),
+		strings.HasPrefix(path, "sx4bench/internal/ncar"),
+		strings.HasPrefix(path, "sx4bench/internal/check"):
+		return true
+	}
+	return false
+}
+
+// formatArg gives the index of the format-string argument of the
+// fmt printf-style functions.
+var formatArg = map[string]int{
+	"Sprintf": 0, "Printf": 0, "Errorf": 0,
+	"Fprintf": 1, "Appendf": 1,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := analysis.IsPkgFunc(pass.TypesInfo.Uses[sel.Sel], "fmt")
+			if !ok {
+				return true
+			}
+			fi, ok := formatArg[name]
+			if !ok || len(call.Args) <= fi {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[fi]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			checkFormat(pass, call, constant.StringVal(tv.Value), call.Args[fi+1:])
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFormat walks the verbs of format, pairing each with its
+// argument, and reports %v/%g/%G applied to a float.
+func checkFormat(pass *analysis.Pass, call *ast.CallExpr, format string, args []ast.Expr) {
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Explicit argument indexes (%[1]v) are rare enough that the
+		// analyzer declines the whole string rather than mis-pairing.
+		verb, stars, hasPrec, width := parseVerb(format[i:])
+		if verb == 0 || strings.ContainsRune(width, '[') {
+			return
+		}
+		arg += stars
+		// %v is always implicit; %g with an explicit precision
+		// (%.3g) is a deliberate fixed form and is allowed.
+		if verb == 'v' || (verb == 'g' || verb == 'G') && !hasPrec {
+			if arg < len(args) && isFloat(pass.TypesInfo.TypeOf(args[arg])) {
+				pass.Reportf(call.Pos(),
+					"%%%c formats a float with fmt's implicit shortest form; golden-producing code must use a fixed-width verb or core.Float/core.Fixed", verb)
+			}
+		}
+		arg++
+		i += len(width) - 1 // resume at the verb; the loop steps past it
+	}
+}
+
+// parseVerb consumes flags, width and precision, returning the verb
+// rune, the number of '*' arguments consumed, whether an explicit
+// precision was given, and the directive text up to and including the
+// verb.
+func parseVerb(s string) (verb rune, stars int, hasPrec bool, directive string) {
+	i := 0
+	for i < len(s) && strings.ContainsRune("#0- +'", rune(s[i])) {
+		i++
+	}
+	digits := func() {
+		for i < len(s) && (s[i] >= '0' && s[i] <= '9') {
+			i++
+		}
+	}
+	if i < len(s) && s[i] == '*' {
+		stars++
+		i++
+	} else {
+		digits()
+	}
+	if i < len(s) && s[i] == '.' {
+		hasPrec = true
+		i++
+		if i < len(s) && s[i] == '*' {
+			stars++
+			i++
+		} else {
+			digits()
+		}
+	}
+	if i >= len(s) {
+		return 0, stars, hasPrec, s[:i]
+	}
+	return rune(s[i]), stars, hasPrec, s[:i+1]
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

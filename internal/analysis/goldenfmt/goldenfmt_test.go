@@ -1,0 +1,15 @@
+package goldenfmt_test
+
+import (
+	"testing"
+
+	"sx4bench/internal/analysis/analysistest"
+	"sx4bench/internal/analysis/goldenfmt"
+)
+
+func TestGoldenFmt(t *testing.T) {
+	analysistest.Run(t, "testdata", goldenfmt.Analyzer,
+		"sx4bench/internal/core/fakefmt",
+		"sx4bench/internal/machine/fakefp",
+	)
+}

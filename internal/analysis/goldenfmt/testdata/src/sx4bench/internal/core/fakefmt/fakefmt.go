@@ -1,0 +1,18 @@
+// Package fakefmt is a goldenfmt fixture inside the golden-producing
+// scope (sx4bench/internal/core/...).
+package fakefmt
+
+import (
+	"fmt"
+	"io"
+)
+
+func Render(w io.Writer, x float64, n int) {
+	fmt.Fprintf(w, "%v\n", x)      // want `%v formats a float with fmt's implicit shortest form`
+	fmt.Fprintf(w, "%g\n", x)      // want `%g formats a float`
+	fmt.Fprintf(w, "%9.3g\n", x)   // explicit precision: deliberate fixed form
+	fmt.Fprintf(w, "%.2f\n", x)    // the canonical fixed-width verb
+	fmt.Fprintf(w, "%v\n", n)      // ints have one canonical rendering
+	_ = fmt.Sprintf("%d %v", n, x) // want `%v formats a float`
+	_ = fmt.Sprintf("%*v", n, x)   // want `%v formats a float`
+}

@@ -1,0 +1,15 @@
+// Package fakefp is outside goldenfmt's scope: fingerprint hashing in
+// the model layer may use %v (the hash only needs injectivity, not a
+// canonical rendering).
+package fakefp
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+func Fingerprint(clockNS float64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "cfg|%v", clockNS)
+	return h.Sum64()
+}

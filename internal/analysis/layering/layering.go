@@ -1,0 +1,67 @@
+// Package layering enforces the machine-agnostic execution boundary.
+//
+// Everything above the model layer — the experiment engine, the NCAR
+// runners, the verification subsystem, the application traces, the
+// CLIs and examples — must speak sx4bench/internal/target: the Target
+// interface plus the name registry. Importing the concrete SX-4 model
+// (internal/sx4) or the comparator models (internal/machine) from up
+// there would re-couple runners to one backend and bypass the
+// registry, which is the only sanctioned way to construct machines.
+//
+// Exempt: the model packages themselves (internal/sx4/... and
+// internal/machine, which implement Target and register the
+// constructors) and the root facade package sx4bench, the curated
+// public surface that links the models in and re-exports the SX-4
+// types. The trace vocabulary (internal/sx4/prog) and the subsystem
+// models (iop, ixs, xmu) are shared leaves, not forbidden.
+package layering
+
+import (
+	"strings"
+
+	"sx4bench/internal/analysis"
+)
+
+var forbidden = map[string]string{
+	"sx4bench/internal/sx4":     "the concrete SX-4 model",
+	"sx4bench/internal/machine": "the concrete comparator models",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "layering",
+	Doc:  "packages above the model layer must import sx4bench/internal/target, never internal/sx4 or internal/machine directly",
+	Run:  run,
+}
+
+// exempt reports whether the importing package is part of the model
+// layer (or its sanctioned assembly point) and may name the concrete
+// models.
+func exempt(path string) bool {
+	switch {
+	case path == "sx4bench": // the curated facade
+		return true
+	case path == "sx4bench/internal/machine":
+		return true
+	case path == "sx4bench/internal/sx4",
+		strings.HasPrefix(path, "sx4bench/internal/sx4/"):
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if exempt(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if what, bad := forbidden[path]; bad {
+				pass.Reportf(spec.Pos(),
+					"import of %s (%s) above the model layer: depend on sx4bench/internal/target and the machine registry instead",
+					path, what)
+			}
+		}
+	}
+	return nil
+}

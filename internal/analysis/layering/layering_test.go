@@ -1,0 +1,15 @@
+package layering_test
+
+import (
+	"testing"
+
+	"sx4bench/internal/analysis/analysistest"
+	"sx4bench/internal/analysis/layering"
+)
+
+func TestLayering(t *testing.T) {
+	analysistest.Run(t, "testdata", layering.Analyzer,
+		"sx4bench/internal/fakerunner",
+		"sx4bench/internal/machine",
+	)
+}

@@ -1,0 +1,10 @@
+// Package fakerunner is a layering fixture: a package above the model
+// layer, which must speak the target registry.
+package fakerunner
+
+import (
+	_ "sx4bench/internal/machine"  // want `import of sx4bench/internal/machine \(the concrete comparator models\) above the model layer`
+	_ "sx4bench/internal/sx4"      // want `import of sx4bench/internal/sx4 \(the concrete SX-4 model\) above the model layer`
+	_ "sx4bench/internal/sx4/prog" // the trace vocabulary is a shared leaf
+	_ "sx4bench/internal/target"   // the sanctioned dependency
+)

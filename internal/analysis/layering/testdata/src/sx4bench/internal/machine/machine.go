@@ -1,0 +1,7 @@
+// Package machine mimics the comparator-model package, which is part
+// of the model layer and may import the SX-4 model directly.
+package machine
+
+import (
+	_ "sx4bench/internal/sx4"
+)

@@ -1,0 +1,188 @@
+// Package maporder flags map iteration that can leak Go's randomized
+// map order into golden-checked output.
+//
+// A `for range` over a map whose body writes to an io.Writer, feeds a
+// hash/fingerprint, or appends to a slice that outlives the loop
+// emits its elements in a different order every run — the classic way
+// a byte-exact golden goes flaky. The sanctioned idiom is to collect
+// the keys, sort them, and range over the sorted slice; a key-collect
+// loop is therefore exempt when the collected slice is passed to a
+// sort call later in the same function. Order-insensitive bodies
+// (sums, counts, deletes) are not flagged. False positives carry an
+// explicit waiver: //sx4lint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sx4bench/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body writes output, fingerprints, or appends to an outer slice without a later sort",
+	Run:  run,
+}
+
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+var sortFuncs = map[string]bool{
+	// package sort
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	// package slices
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc examines one function body: every map range inside it is
+// checked against the sort calls inside it.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// sortedAfter[obj] holds positions of sort calls whose argument
+	// resolves to obj.
+	sortedAfter := map[types.Object][]ast.Node{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortFuncs[sel.Sel.Name] {
+			return true
+		}
+		if name, ok := funcPkg(pass, sel.Sel); !ok || (name != "sort" && name != "slices") {
+			return true
+		}
+		if obj := rootObj(pass, call.Args[0]); obj != nil {
+			sortedAfter[obj] = append(sortedAfter[obj], call)
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkRange(pass, rng, sortedAfter)
+		return true
+	})
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt, sortedAfter map[types.Object][]ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && len(call.Args) > 0 {
+				if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+					checkAppend(pass, rng, call, sortedAfter)
+				}
+			}
+		case *ast.SelectorExpr:
+			if pkg, ok := funcPkg(pass, fun.Sel); ok {
+				switch {
+				case pkg == "fmt" && (len(fun.Sel.Name) > 5 && fun.Sel.Name[:5] == "Fprin" || len(fun.Sel.Name) > 4 && fun.Sel.Name[:4] == "Prin"):
+					pass.Reportf(rng.For,
+						"map iteration writes output via fmt.%s in randomized order; range over sorted keys instead", fun.Sel.Name)
+					return false
+				case pkg == "io" && fun.Sel.Name == "WriteString":
+					pass.Reportf(rng.For,
+						"map iteration writes output via io.WriteString in randomized order; range over sorted keys instead")
+					return false
+				}
+			} else if writeMethods[fun.Sel.Name] && pass.TypesInfo.Selections[fun] != nil {
+				pass.Reportf(rng.For,
+					"map iteration calls %s inside the loop: writers and fingerprints see randomized map order; range over sorted keys instead", fun.Sel.Name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkAppend flags `out = append(out, ...)` inside a map range when
+// out is declared outside the loop and never sorted afterwards.
+func checkAppend(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr, sortedAfter map[types.Object][]ast.Node) {
+	obj := rootObj(pass, call.Args[0])
+	if obj == nil {
+		return
+	}
+	// Declared inside the range body: loop-local, orderless use.
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return
+	}
+	for _, s := range sortedAfter[obj] {
+		if s.Pos() > rng.End() {
+			return // collect-then-sort idiom
+		}
+	}
+	pass.Reportf(rng.For,
+		"map iteration appends to %s in randomized order with no later sort; sort the keys (or the result) before use", obj.Name())
+}
+
+// funcPkg resolves a selector identifier to the package path base of
+// the package-level function it names.
+func funcPkg(pass *analysis.Pass, sel *ast.Ident) (string, bool) {
+	obj, ok := pass.TypesInfo.Uses[sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return analysis.PathBase(obj.Pkg().Path()), true
+}
+
+// rootObj unwraps conversions/single-arg calls and returns the object
+// of the underlying identifier, if any.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[v]
+		case *ast.CallExpr:
+			if len(v.Args) != 1 {
+				return nil
+			}
+			e = v.Args[0]
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

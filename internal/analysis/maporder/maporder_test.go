@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"sx4bench/internal/analysis/analysistest"
+	"sx4bench/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer,
+		"sx4bench/internal/fakereport",
+	)
+}

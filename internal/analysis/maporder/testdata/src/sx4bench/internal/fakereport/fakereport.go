@@ -1,0 +1,66 @@
+// Package fakereport is a maporder fixture: map iteration feeding
+// ordered sinks must go through sorted keys.
+package fakereport
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func BadPrint(w io.Writer, m map[string]float64) {
+	for k, v := range m { // want `map iteration writes output via fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%.2f\n", k, v)
+	}
+}
+
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to out in randomized order with no later sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+func BadBuilder(m map[int]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration calls WriteString inside the loop`
+		b.WriteString(fmt.Sprint(k))
+	}
+	return b.String()
+}
+
+// The sanctioned idiom: collect, sort, then range the slice.
+func GoodSorted(w io.Writer, m map[string]float64) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%.2f\n", k, m[k])
+	}
+}
+
+// Order-insensitive reductions are fine.
+func GoodSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Loop-local appends do not outlive an iteration.
+func GoodLocal(w io.Writer, m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+// Package noclock forbids wall-clock reads in the simulation layers.
+//
+// Every duration in this repository is simulated: machines charge
+// clocks to operation traces and Spec.Seconds converts them. A stray
+// time.Now or time.Since in a model, runner, report or verification
+// package would mix host wall time into numbers that must be pure
+// functions of (configuration, program, options) — the property every
+// byte-exact golden and the metamorphic suite stand on. Tests and the
+// CLIs may read the real clock; the internal packages may not.
+package noclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"sx4bench/internal/analysis"
+)
+
+var forbidden = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noclock",
+	Doc:  "forbid time.Now/time.Since/time.Until in the simulated-time packages (sx4bench/internal/...)",
+	Run:  run,
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "sx4bench/internal/") {
+		return false
+	}
+	// The analysis tooling itself is not part of the simulation.
+	return !strings.HasPrefix(path, "sx4bench/internal/analysis")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if name, ok := analysis.IsPkgFunc(obj, "time"); ok && forbidden[name] {
+				pass.Reportf(id.Pos(),
+					"wall-clock time.%s in simulated-time package %s: model time comes from trace clocks and Spec.Seconds",
+					name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

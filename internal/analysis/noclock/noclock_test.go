@@ -1,0 +1,15 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"sx4bench/internal/analysis/analysistest"
+	"sx4bench/internal/analysis/noclock"
+)
+
+func TestNoClock(t *testing.T) {
+	analysistest.Run(t, "testdata", noclock.Analyzer,
+		"sx4bench/internal/fakemodel",
+		"sx4bench/cmd/fakecli",
+	)
+}

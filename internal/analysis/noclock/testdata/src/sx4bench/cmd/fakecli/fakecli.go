@@ -1,0 +1,11 @@
+// Package fakecli is out of noclock's scope: CLIs may time their own
+// wall-clock execution.
+package fakecli
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,24 @@
+// Package fakemodel is a noclock fixture mimicking a simulation
+// package (import path under sx4bench/internal/), where wall-clock
+// reads are forbidden.
+package fakemodel
+
+import "time"
+
+func Timings() (float64, time.Duration) {
+	start := time.Now()          // want `wall-clock time\.Now in simulated-time package`
+	d := time.Since(start)       // want `wall-clock time\.Since`
+	_ = time.Until(start.Add(d)) // want `wall-clock time\.Until`
+	const clockNS = 9.2          // simulated time is fine
+	_ = clockNS
+	return clockNS, d
+}
+
+// Durations and time arithmetic on values are legal; only clock reads
+// are not.
+func Scale(d time.Duration) time.Duration { return 2 * d }
+
+func waived() time.Time {
+	//sx4lint:ignore noclock fixture demonstrating an explicit waiver
+	return time.Now()
+}

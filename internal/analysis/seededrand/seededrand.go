@@ -1,0 +1,55 @@
+// Package seededrand forbids the global math/rand source in non-test
+// code.
+//
+// The top-level math/rand functions (rand.Intn, rand.Float64, ...)
+// share one process-wide, auto-seeded source. Any number drawn from
+// it differs run to run and worker to worker, so a single call in a
+// golden-feeding path would break byte-exact reproduction, and a call
+// in a Workers-parallel path would make parallel runs diverge from
+// serial ones. Non-test code must thread an explicitly seeded
+// rand.New(rand.NewSource(seed)) — or the repo's SplitMix64 noise
+// streams — so every draw is attributable to a seed. (Test files are
+// exempt and are not loaded by the analysis driver at all.)
+package seededrand
+
+import (
+	"go/ast"
+	"strings"
+
+	"sx4bench/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid the auto-seeded global math/rand functions in non-test code; require explicit rand.New(rand.NewSource(seed)) or SplitMix64 streams",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), "sx4bench") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			for _, pkg := range []string{"math/rand", "math/rand/v2"} {
+				// Every package-level function except the New*
+				// constructors draws from the shared global source.
+				if name, ok := analysis.IsPkgFunc(obj, pkg); ok && !strings.HasPrefix(name, "New") {
+					pass.Reportf(id.Pos(),
+						"global %s.%s uses the process-wide auto-seeded source; use rand.New(rand.NewSource(seed)) or a core SplitMix64 stream",
+						pkg, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

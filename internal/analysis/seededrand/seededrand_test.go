@@ -1,0 +1,14 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"sx4bench/internal/analysis/analysistest"
+	"sx4bench/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer,
+		"sx4bench/internal/fakekernels",
+	)
+}

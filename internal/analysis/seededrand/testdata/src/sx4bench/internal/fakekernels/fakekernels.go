@@ -1,0 +1,30 @@
+// Package fakekernels is a seededrand fixture: non-test module code
+// must thread an explicitly seeded source.
+package fakekernels
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Seeded draws are the sanctioned form.
+func Fill(dst []float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range dst {
+		dst[i] = rng.Float64()
+	}
+}
+
+func Bad(dst []float64) int {
+	for i := range dst {
+		dst[i] = rand.Float64() // want `global math/rand\.Float64 uses the process-wide auto-seeded source`
+	}
+	rand.Shuffle(len(dst), func(i, j int) { // want `global math/rand\.Shuffle`
+		dst[i], dst[j] = dst[j], dst[i]
+	})
+	return rand.Intn(4) // want `global math/rand\.Intn`
+}
+
+func BadV2() int {
+	return randv2.IntN(4) // want `global math/rand/v2\.IntN`
+}

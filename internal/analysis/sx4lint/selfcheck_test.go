@@ -1,0 +1,29 @@
+package sx4lint_test
+
+import (
+	"testing"
+
+	"sx4bench/internal/analysis"
+	"sx4bench/internal/analysis/sx4lint"
+)
+
+// TestRepositoryIsClean runs the full analyzer suite over the module:
+// the invariant "sx4lint ./... reports nothing" is itself a test, so
+// a violation fails `go test ./...` even before make lint or CI run
+// the binary.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short")
+	}
+	pkgs, err := analysis.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, sx4lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,24 @@
+// Package sx4lint assembles the repository's analyzer suite: the one
+// list cmd/sx4lint, the vettool mode, and the self-check test all
+// share.
+package sx4lint
+
+import (
+	"sx4bench/internal/analysis"
+	"sx4bench/internal/analysis/goldenfmt"
+	"sx4bench/internal/analysis/layering"
+	"sx4bench/internal/analysis/maporder"
+	"sx4bench/internal/analysis/noclock"
+	"sx4bench/internal/analysis/seededrand"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		noclock.Analyzer,
+		seededrand.Analyzer,
+		layering.Analyzer,
+		maporder.Analyzer,
+		goldenfmt.Analyzer,
+	}
+}

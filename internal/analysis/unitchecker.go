@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// VetConfig is the per-package configuration file the go command
+// hands a -vettool (the x/tools unitchecker protocol): source files,
+// and the import→export-data maps needed to type-check them.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetCfg executes the analyzers on the single package described by
+// the .cfg file, in the way `go vet -vettool=sx4lint` drives it. The
+// (empty) facts file the go command expects is always written; test
+// package variants are skipped, since sx4lint's invariants exempt
+// test code.
+func RunVetCfg(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("sx4lint: reading vet config: %v", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("sx4lint: parsing vet config %s: %v", cfgPath, err)
+	}
+	// The go command requires the facts file to exist after a clean
+	// exit; sx4lint's analyzers neither produce nor consume facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly || strings.ContainsAny(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return nil, nil
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, vetExports(cfg))
+	pkg, err := typecheck(fset, imp, cfg.ImportPath, cfg.Dir, files, !cfg.SucceedOnTypecheckFailure)
+	if err != nil {
+		return nil, err
+	}
+	return Run([]*Package{pkg}, analyzers)
+}
+
+// vetExports flattens the config's ImportMap/PackageFile pair into
+// one source-import-path → export-file map.
+func vetExports(cfg VetConfig) map[string]string {
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if f, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = f
+		}
+	}
+	return exports
+}

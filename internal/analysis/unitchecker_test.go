@@ -1,0 +1,86 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sx4bench/internal/analysis"
+	"sx4bench/internal/analysis/noclock"
+)
+
+// TestRunVetCfg drives the unitchecker protocol the way `go vet
+// -vettool=sx4lint` does: a hand-built JSON config describing one
+// package, with imports resolved through export data.
+func TestRunVetCfg(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "fakemodel.go")
+	if err := os.WriteFile(src, []byte(`package fakemodel
+
+import "time"
+
+func Start() time.Time { return time.Now() }
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}} {{.Export}}", "-deps", "time").Output()
+	if err != nil {
+		t.Fatalf("go list -export time: %v", err)
+	}
+	packageFile := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if path, file, ok := strings.Cut(line, " "); ok && file != "" {
+			packageFile[path] = file
+		}
+	}
+
+	vetx := filepath.Join(dir, "pkg.vetx")
+	cfg := analysis.VetConfig{
+		ID:          "sx4bench/internal/fakemodel",
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "sx4bench/internal/fakemodel",
+		GoFiles:     []string{src},
+		PackageFile: packageFile,
+		VetxOutput:  vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := analysis.RunVetCfg(cfgPath, []*analysis.Analyzer{noclock.Analyzer})
+	if err != nil {
+		t.Fatalf("RunVetCfg: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Now") {
+		t.Fatalf("want one time.Now diagnostic, got %v", diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+
+	// Test-package variants are skipped wholesale but still get a
+	// facts file (the go command requires one).
+	cfg.ImportPath = "sx4bench/internal/fakemodel [sx4bench/internal/fakemodel.test]"
+	cfg.VetxOutput = filepath.Join(dir, "test.vetx")
+	data, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	diags, err = analysis.RunVetCfg(cfgPath, []*analysis.Analyzer{noclock.Analyzer})
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("test variant: want no diagnostics, got %v, %v", diags, err)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("facts file not written for test variant: %v", err)
+	}
+}

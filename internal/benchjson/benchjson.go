@@ -8,9 +8,11 @@ package benchjson
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -85,6 +87,62 @@ func Parse(r io.Reader) (Baseline, error) {
 	}
 	return b, nil
 }
+
+// Load reads a baseline JSON file (as written by cmd/benchjson) back
+// into memory, for diffing a fresh run against the committed
+// BENCH_BASELINE.json. Truncated or otherwise malformed JSON is an
+// error (a half-written baseline from an interrupted bench run must
+// not silently read as "everything got faster"), and the result is
+// passed through Validate.
+func Load(r io.Reader) (Baseline, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Baseline{}, fmt.Errorf("reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parsing baseline: %w", err)
+	}
+	if err := Validate(b); err != nil {
+		return Baseline{}, err
+	}
+	return b, nil
+}
+
+// Validate checks the structural invariants of a baseline: at least
+// one record, every record named, and every number finite. JSON
+// itself cannot spell NaN or Inf, but baselines are also built in
+// memory (and a hand-edited "1e999" is caught at Unmarshal as out of
+// range); validating before Marshal keeps the two paths symmetric.
+func Validate(b Baseline) error {
+	if len(b.Benchmarks) == 0 {
+		return fmt.Errorf("baseline has no benchmark records")
+	}
+	for _, res := range b.Benchmarks {
+		if res.Name == "" {
+			return fmt.Errorf("baseline record without a name")
+		}
+		if !finite(res.NsPerOp) || res.Iterations < 0 {
+			return fmt.Errorf("baseline %s: bad ns/op or iterations", res.Name)
+		}
+		units := make([]string, 0, len(res.Metrics))
+		for unit := range res.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if !finite(res.Metrics[unit]) {
+				return fmt.Errorf("baseline %s: non-finite metric %q", res.Name, unit)
+			}
+		}
+	}
+	if !finite(b.RunAllSpeedup) {
+		return fmt.Errorf("baseline: non-finite runall_parallel_speedup")
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // ParseLine reads one "BenchmarkX-8  123  456 ns/op  7 B/op ..." line.
 func ParseLine(line string) (Result, bool) {

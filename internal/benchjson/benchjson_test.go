@@ -1,6 +1,9 @@
 package benchjson
 
 import (
+	"encoding/json"
+	"errors"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -55,11 +58,11 @@ func TestParseEmptyErrors(t *testing.T) {
 
 func TestParseLineRejectsMalformed(t *testing.T) {
 	bad := []string{
-		"BenchmarkX",                     // too few fields
-		"BenchmarkX ten 5 ns/op",         // non-numeric iterations
-		"BenchmarkX 10 five ns/op",       // non-numeric value
-		"BenchmarkX 10 5 widgets extra",  // no ns/op or metric pair parsed -> metrics
-		"BenchmarkX 10 0 ns/op",          // zero ns/op and no metrics
+		"BenchmarkX",                    // too few fields
+		"BenchmarkX ten 5 ns/op",        // non-numeric iterations
+		"BenchmarkX 10 five ns/op",      // non-numeric value
+		"BenchmarkX 10 5 widgets extra", // no ns/op or metric pair parsed -> metrics
+		"BenchmarkX 10 0 ns/op",         // zero ns/op and no metrics
 	}
 	for _, line := range bad[:3] {
 		if _, ok := ParseLine(line); ok {
@@ -81,6 +84,107 @@ func TestParseLineRejectsNonFinite(t *testing.T) {
 	} {
 		if _, ok := ParseLine(line); ok {
 			t.Errorf("ParseLine(%q) accepted a non-finite value", line)
+		}
+	}
+}
+
+func TestParseLineRejectsInfMetrics(t *testing.T) {
+	// Every spelling ParseFloat accepts for the infinities must be
+	// rejected in the metric position too, not just in ns/op.
+	for _, line := range []string{
+		"BenchmarkX-8 10 5 ns/op +Inf mflops",
+		"BenchmarkX-8 10 5 ns/op inf mflops",
+		"BenchmarkX-8 10 5 ns/op Infinity mflops",
+		"BenchmarkX-8 10 5 ns/op -infinity mflops",
+		"BenchmarkX-8 10 5 ns/op nan mflops",
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("ParseLine(%q) accepted a non-finite metric", line)
+		}
+	}
+}
+
+type failingReader struct{ err error }
+
+func (r failingReader) Read([]byte) (int, error) { return 0, r.err }
+
+func TestParseReaderError(t *testing.T) {
+	// A reader that fails mid-stream (interrupted pipe) must surface
+	// the error rather than return a silently short baseline.
+	wantErr := errors.New("pipe broke")
+	if _, err := Parse(failingReader{wantErr}); !errors.Is(err, wantErr) {
+		t.Errorf("Parse with failing reader: err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("Load of marshalled baseline: %v", err)
+	}
+	if len(got.Benchmarks) != len(orig.Benchmarks) || got.RunAllSpeedup != orig.RunAllSpeedup {
+		t.Errorf("round trip changed the baseline: %+v vs %+v", got, orig)
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	valid := `{"benchmarks":[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":5}]}`
+	cases := map[string]string{
+		"empty":            "",
+		"truncated":        valid[:len(valid)/2],
+		"not JSON":         "BenchmarkX-8 10 5 ns/op",
+		"no records":       `{"benchmarks":[]}`,
+		"null records":     `{"goos":"linux"}`,
+		"unnamed record":   `{"benchmarks":[{"iterations":10,"ns_per_op":5}]}`,
+		"metric overflow":  `{"benchmarks":[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":5,"metrics":{"mflops":1e999}}]}`,
+		"neg iterations":   `{"benchmarks":[{"name":"BenchmarkX-8","iterations":-1,"ns_per_op":5}]}`,
+		"ns/op overflow":   `{"benchmarks":[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":1e999}]}`,
+		"speedup overflow": `{"benchmarks":[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":5}],"runall_parallel_speedup":1e999}`,
+	}
+	for desc, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("Load accepted %s baseline %q", desc, in)
+		}
+	}
+	if _, err := Load(failingReader{io.ErrUnexpectedEOF}); err == nil {
+		t.Error("Load accepted a failing reader")
+	}
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	// JSON cannot spell NaN/Inf, but in-memory baselines can hold
+	// them; Validate is the gate before Marshal.
+	base := func() Baseline {
+		return Baseline{Benchmarks: []Result{{Name: "BenchmarkX-8", Iterations: 10, NsPerOp: 5}}}
+	}
+	good := base()
+	if err := Validate(good); err != nil {
+		t.Fatalf("Validate rejected a good baseline: %v", err)
+	}
+	cases := map[string]Baseline{}
+	b := base()
+	b.Benchmarks[0].NsPerOp = math.Inf(1)
+	cases["Inf ns/op"] = b
+	b = base()
+	b.Benchmarks[0].Metrics = map[string]float64{"mflops": math.NaN()}
+	cases["NaN metric"] = b
+	b = base()
+	b.Benchmarks[0].Metrics = map[string]float64{"mflops": math.Inf(-1)}
+	cases["-Inf metric"] = b
+	b = base()
+	b.RunAllSpeedup = math.NaN()
+	cases["NaN speedup"] = b
+	for desc, bl := range cases {
+		if err := Validate(bl); err == nil {
+			t.Errorf("Validate accepted a baseline with %s", desc)
 		}
 	}
 }

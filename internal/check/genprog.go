@@ -1,7 +1,6 @@
 package check
 
 import (
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/prog"
 )
 
@@ -32,11 +31,6 @@ func (r *byteReader) rangeInt(lo, hi int) int {
 		return lo
 	}
 	return lo + int(r.byte())%(hi-lo+1)
-}
-
-// pick selects one element of choices from one byte.
-func pick(r *byteReader, choices []int) int {
-	return choices[int(r.byte())%len(choices)]
 }
 
 // DecodeProgram interprets arbitrary bytes as a structurally valid
@@ -94,39 +88,4 @@ func decodeOp(r *byteReader) prog.Op {
 		op.FlopsPerElem = r.rangeInt(1, 4)
 	}
 	return op
-}
-
-// DecodeCase interprets arbitrary bytes as a complete model input: a
-// valid machine configuration, a valid program, and run options. The
-// configuration starts from the paper's benchmarked system and perturbs
-// the performance-relevant axes within hardware-plausible bounds. The
-// bounds keep MemoryBanks >= VectorPipes*BankBusyClocks, so the
-// bank-conflict model's conflict-free window never degenerates.
-func DecodeCase(data []byte) (sx4.Config, prog.Program, sx4.RunOpts) {
-	r := &byteReader{data: data}
-	cfg := sx4.Benchmarked()
-	cfg.ClockNS = []float64{9.2, 8.0, 4.0, 16.0}[int(r.byte())%4]
-	cfg.CPUs = r.rangeInt(1, 32)
-	cfg.Nodes = r.rangeInt(1, 16)
-	cfg.VectorPipes = pick(r, []int{1, 2, 4, 8, 16})
-	cfg.VectorRegElems = pick(r, []int{64, 128, 256, 512})
-	cfg.MemoryBanks = pick(r, []int{64, 128, 256, 512, 1024})
-	cfg.BankBusyClocks = pick(r, []int{1, 2, 4})
-	cfg.PortWordsPerClock = pick(r, []int{4, 8, 16, 32})
-	cfg.NodeWordsPerClock = pick(r, []int{128, 256, 512, 1024})
-	cfg.VectorStartupClocks = r.rangeInt(0, 64)
-	cfg.MemStartupClocks = r.rangeInt(0, 128)
-	cfg.GatherWordsPerClock = []float64{0.5, 1, 2, 4}[int(r.byte())%4]
-	cfg.StridedPenalty = []float64{1, 1.5, 2.5, 4}[int(r.byte())%4]
-	cfg.IntrinsicScale = []float64{0, 0.5, 1, 2}[int(r.byte())%4]
-	cfg.ScalarIssuePerClock = pick(r, []int{1, 2, 4})
-	cfg.LoopOverheadClocks = float64(r.rangeInt(0, 32))
-	cfg.InterferenceFrac = []float64{0, 0.019, 0.1}[int(r.byte())%3]
-
-	opts := sx4.RunOpts{
-		Procs:      r.rangeInt(0, 32),
-		ActiveCPUs: r.rangeInt(0, 32),
-	}
-	p := DecodeProgram(data[r.pos:])
-	return cfg, p, opts
 }

@@ -1,0 +1,23 @@
+package core
+
+import "strconv"
+
+// Canonical float formatting for golden-producing code.
+//
+// Every number that reaches a byte-exact golden artifact must be
+// rendered through an explicit, named formatter — never through %v or
+// %g, whose output shape is an implementation detail of package fmt.
+// The sx4lint goldenfmt analyzer enforces this: it flags %v/%g applied
+// to floats in golden-producing packages and points here.
+
+// Float renders x in the canonical shortest round-trip form: the exact
+// byte sequence %v/%g would produce, but requested by name.
+func Float(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// Fixed renders x with a fixed number of decimals, the %.<prec>f form
+// the paper's tables use.
+func Fixed(x float64, prec int) string {
+	return strconv.FormatFloat(x, 'f', prec, 64)
+}

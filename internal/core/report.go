@@ -63,7 +63,7 @@ func WriteFigure(w io.Writer, f Figure) error {
 			return err
 		}
 		for _, p := range s.Points {
-			if _, err := fmt.Fprintf(w, "%g\t%g\n", p.X, p.Y); err != nil {
+			if _, err := fmt.Fprintf(w, "%s\t%s\n", Float(p.X), Float(p.Y)); err != nil {
 				return err
 			}
 		}
@@ -79,7 +79,7 @@ func WriteFigureCSV(w io.Writer, f Figure) error {
 	}
 	for _, s := range f.Series {
 		for _, p := range s.Points {
-			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Label), p.X, p.Y); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s\n", csvEscape(s.Label), Float(p.X), Float(p.Y)); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,8 @@
+package ncar
+
+// Model registration is the linking binary's job under the registry
+// pattern: the facade imports internal/machine, which registers every
+// Table 1 comparator and SX-4 configuration in its init. This package
+// itself must not import the concrete models (the sx4lint layering
+// analyzer enforces that), so the test binary links them here.
+import _ "sx4bench/internal/machine"

@@ -17,13 +17,11 @@ import (
 	"sx4bench/internal/hint"
 	"sx4bench/internal/iobench"
 	"sx4bench/internal/kernels"
-	"sx4bench/internal/machine"
 	"sx4bench/internal/mom"
 	"sx4bench/internal/paranoia"
 	"sx4bench/internal/pop"
 	"sx4bench/internal/prodload"
 	"sx4bench/internal/radabs"
-	"sx4bench/internal/sx4"
 	"sx4bench/internal/sx4/iop"
 	"sx4bench/internal/target"
 )
@@ -113,7 +111,13 @@ func Table1() core.Table {
 		Title:   `Comparison of the "MQUIPS" metric and the Mflops measurement from RADABS`,
 		Headers: []string{"Benchmark", "SUN SPARC20", "IBM RS6K 590", "CRI J90", "CRI YMP"},
 	}
-	targets := machine.Table1Targets()
+	// The four comparison systems in the paper's Table 1 column
+	// order, resolved through the machine registry so this layer
+	// never names a concrete model type.
+	targets := make([]target.Target, 0, 4)
+	for _, name := range []string{"sparc20", "rs6000", "j90", "ymp"} {
+		targets = append(targets, target.MustLookup(name))
+	}
 	hintRow := []string{"HINT (MQUIPS)"}
 	radRow := []string{"RADABS (MFLOPS)"}
 	p := radabs.Trace(radabs.BenchmarkColumns, radabs.DefaultLevels)
@@ -128,7 +132,7 @@ func Table1() core.Table {
 
 // Table2 renders the benchmarked system's specifications.
 func Table2() core.Table {
-	c := sx4.Benchmarked()
+	c := target.MustLookup("sx4-32").Spec()
 	t := core.Table{
 		ID:      "table2",
 		Title:   "Specifications of the NEC SX-4/32 system used for the benchmarks",

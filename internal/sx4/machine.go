@@ -116,11 +116,17 @@ func (m *Machine) Scalar() target.ScalarProfile {
 // Spec returns the machine's specification sheet.
 func (m *Machine) Spec() target.Spec {
 	return target.Spec{
-		CPUs:             m.cfg.CPUs,
-		Nodes:            m.cfg.Nodes,
-		ClockNS:          m.cfg.ClockNS,
-		PeakMFLOPSPerCPU: m.cfg.PeakFlopsPerCPU() / 1e6,
-		DiskBytesPerSec:  m.cfg.DiskBytesPerSec,
+		CPUs:              m.cfg.CPUs,
+		Nodes:             m.cfg.Nodes,
+		ClockNS:           m.cfg.ClockNS,
+		PeakMFLOPSPerCPU:  m.cfg.PeakFlopsPerCPU() / 1e6,
+		DiskBytesPerSec:   m.cfg.DiskBytesPerSec,
+		VectorPipes:       m.cfg.VectorPipes,
+		PortWordsPerClock: m.cfg.PortWordsPerClock,
+		MainMemoryGB:      m.cfg.MainMemoryGB,
+		XMUGB:             m.cfg.XMUGB,
+		DiskCapacityGB:    m.cfg.DiskCapacityGB,
+		PowerKVA:          m.cfg.PowerKVA,
 	}
 }
 

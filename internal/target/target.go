@@ -112,6 +112,25 @@ type Spec struct {
 	// zero when the model carries no I/O subsystem (the comparison
 	// machines were benchmarked compute-only).
 	DiskBytesPerSec float64
+
+	// The remaining fields are the specification-sheet facts of the
+	// paper's Table 2. They are zero for models whose spec sheet the
+	// paper never prints (the Table 1 comparators).
+
+	// VectorPipes is the number of parallel pipes per vector
+	// functional unit; zero for scalar machines.
+	VectorPipes int
+	// PortWordsPerClock is the per-CPU memory-port width in 64-bit
+	// words per clock.
+	PortWordsPerClock int
+	// MainMemoryGB and XMUGB are the main and extended memory
+	// capacities.
+	MainMemoryGB float64
+	XMUGB        float64
+	// DiskCapacityGB is the attached disk capacity.
+	DiskCapacityGB float64
+	// PowerKVA is the chassis power requirement.
+	PowerKVA float64
 }
 
 // Seconds converts a clock count to seconds at the machine's cycle

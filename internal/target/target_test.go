@@ -55,6 +55,51 @@ func TestRegistryLookup(t *testing.T) {
 	}
 }
 
+func TestLookupNormalization(t *testing.T) {
+	// CLI -machine flags arrive hand-typed and copy-pasted; every
+	// casing and whitespace variant of a registered name must resolve
+	// to the same machine, through Lookup and MustLookup alike.
+	Register("test-stub-norm", func() Target { return &stub{name: "Stub Norm", fp: 9} })
+
+	for _, name := range []string{
+		"TEST-STUB-NORM",
+		"Test-Stub-Norm",
+		"tEsT-sTuB-nOrM",
+		" test-stub-norm",
+		"test-stub-norm ",
+		"\ttest-stub-norm\t",
+		"\n TEST-stub-NORM \n",
+	} {
+		got, err := Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+			continue
+		}
+		if got.Name() != "Stub Norm" {
+			t.Errorf("Lookup(%q) = %q, want %q", name, got.Name(), "Stub Norm")
+		}
+		if m := MustLookup(name); m.Name() != "Stub Norm" {
+			t.Errorf("MustLookup(%q) = %q, want %q", name, m.Name(), "Stub Norm")
+		}
+	}
+
+	// Interior whitespace is not normalized away: it makes a
+	// different (unknown) name.
+	if _, err := Lookup("test-stub\t-norm"); err == nil {
+		t.Error("Lookup with interior whitespace resolved; want unknown-machine error")
+	}
+	// Registration normalizes the same way, so a differently-cased
+	// duplicate is still a duplicate.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Register of differently-cased duplicate did not panic")
+			}
+		}()
+		Register("  TEST-STUB-NORM ", func() Target { return &stub{name: "dup", fp: 10} })
+	}()
+}
+
 func TestRegistryUnknown(t *testing.T) {
 	_, err := Lookup("no-such-machine")
 	if err == nil {
