@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race race-full bench bench-baseline ci smoke examples figures report clean goldens goldens-check fuzz-smoke cover
+.PHONY: all build vet lint test test-short race race-full bench bench-baseline ci smoke faults examples figures report clean goldens goldens-check fuzz-smoke cover
 
 all: build vet lint test
 
@@ -57,11 +57,21 @@ ci:
 	$(MAKE) race-full
 	$(GO) run ./cmd/goldens
 	$(GO) run ./cmd/ncarbench -machine all -short
+	$(MAKE) faults
 
 # Cross-machine smoke: one line of scalar anchors per registered
 # machine, exercising the Target registry end to end.
 smoke:
 	$(GO) run ./cmd/ncarbench -machine all -short
+
+# Resilience smoke: the canonical fault schedule across sx4-1, sx4-32
+# and c90 — the resilience artifact must match its golden, no machine
+# may lose a job (last column all zeros), and a resilient RADABS run
+# must survive the schedule end to end.
+faults:
+	$(GO) run ./cmd/goldens -artifact resilience
+	$(GO) run ./cmd/figures -exp resilience | awk 'NR>3 && NF>1 { if ($$NF != "0") { print "faults: lost jobs in row:", $$0; exit 1 } }'
+	$(GO) run ./cmd/ncarbench -machine sx4-32 -run RADABS -faults 1996
 
 # Regenerate the golden artifacts in internal/check/testdata/goldens
 # after an intentional model change; review `git diff` before

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"sx4bench/internal/benchjson"
+	"sx4bench/internal/core"
 )
 
 func main() {
@@ -42,7 +43,9 @@ func main() {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	// Atomic: an interrupted run must not truncate the baseline the
+	// bench-compare gate reads.
+	if err := core.WriteFileAtomic(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -3,12 +3,15 @@
 // verifies every artifact against the committed goldens and exits
 // non-zero on any drift; -update regenerates the files after an
 // intentional model change (then inspect `git diff` before committing).
+// Golden files are written atomically (temp file + rename), so an
+// interrupted -update never leaves a truncated golden on disk.
 //
 // Usage:
 //
-//	go run ./cmd/goldens            # verify, exit 1 on mismatch
-//	go run ./cmd/goldens -update    # rewrite changed goldens
-//	go run ./cmd/goldens -list      # print the artifact ids
+//	go run ./cmd/goldens                       # verify, exit 1 on mismatch
+//	go run ./cmd/goldens -update               # rewrite changed goldens
+//	go run ./cmd/goldens -list                 # print the artifact ids
+//	go run ./cmd/goldens -artifact resilience  # verify one artifact
 //
 // Run from the repository root, or point -dir at the golden directory.
 package main
@@ -25,23 +28,40 @@ func main() {
 	dir := flag.String("dir", check.DefaultDir, "golden directory")
 	update := flag.Bool("update", false, "rewrite goldens that differ")
 	list := flag.Bool("list", false, "list artifact ids and exit")
+	artifact := flag.String("artifact", "", "restrict to one artifact id (default: all)")
 	flag.Parse()
 
+	ids := check.Artifacts()
+	if *artifact != "" {
+		found := false
+		for _, id := range ids {
+			if id == *artifact {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "goldens: unknown artifact %q (known: %v)\n", *artifact, ids)
+			os.Exit(1)
+		}
+		ids = []string{*artifact}
+	}
+
 	if *list {
-		for _, id := range check.Artifacts() {
+		for _, id := range ids {
 			fmt.Println(id)
 		}
 		return
 	}
 
 	if *update {
-		changed, err := check.Update(*dir)
+		changed, err := check.UpdateIDs(*dir, ids)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "goldens:", err)
 			os.Exit(1)
 		}
 		if len(changed) == 0 {
-			fmt.Printf("goldens: %d artifacts up to date in %s\n", len(check.Artifacts()), *dir)
+			fmt.Printf("goldens: %d artifacts up to date in %s\n", len(ids), *dir)
 			return
 		}
 		for _, id := range changed {
@@ -50,13 +70,13 @@ func main() {
 		return
 	}
 
-	mismatches, err := check.Verify(*dir)
+	mismatches, err := check.VerifyIDs(*dir, ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goldens:", err)
 		os.Exit(1)
 	}
 	if len(mismatches) == 0 {
-		fmt.Printf("goldens: %d artifacts match %s\n", len(check.Artifacts()), *dir)
+		fmt.Printf("goldens: %d artifacts match %s\n", len(ids), *dir)
 		return
 	}
 	for _, m := range mismatches {

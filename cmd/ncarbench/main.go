@@ -11,6 +11,8 @@
 //	ncarbench -machine all -run all    # the suite on every machine
 //	ncarbench -machine all -short      # one-line smoke sweep (CI)
 //	ncarbench -run CCM2 -cpus 16
+//	ncarbench -run RADABS -faults 1996 # under a seeded fault schedule
+//	ncarbench -run all -faults sched.txt -deadline 600
 package main
 
 import (
@@ -18,34 +20,62 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"sx4bench"
 	"sx4bench/internal/core/sched"
+	"sx4bench/internal/fault"
 	"sx4bench/internal/ncar"
 )
 
+// options collects the command's flags.
+type options struct {
+	machine   string
+	benchmark string
+	cpus      int
+	workers   int
+	short     bool
+
+	// faults selects a schedule: empty (fault-free), a decimal seed
+	// for a generated plan, or a schedule-file path.
+	faults string
+	// deadline bounds each benchmark's simulated completion time in
+	// seconds; 0 means none.
+	deadline float64
+	// retries caps the attempts per benchmark; 0 means the default.
+	retries int
+}
+
 func main() {
-	run := flag.String("run", "", "benchmark name (see list), or 'all'")
-	machine := flag.String("machine", "sx4-32",
+	var o options
+	flag.StringVar(&o.benchmark, "run", "", "benchmark name (see list), or 'all'")
+	flag.StringVar(&o.machine, "machine", "sx4-32",
 		fmt.Sprintf("machine to benchmark, or 'all' (known: %s)", strings.Join(sx4bench.Machines(), ", ")))
-	cpus := flag.Int("cpus", 0, "processors for the application benchmarks (0 = the machine's full CPU count)")
-	workers := flag.Int("workers", 0, "suite-level parallelism for -run all (0 = GOMAXPROCS, 1 = serial); output is identical either way")
-	short := flag.Bool("short", false, "print one line of scalar anchors per machine instead of full results")
+	flag.IntVar(&o.cpus, "cpus", 0, "processors for the application benchmarks (0 = the machine's full CPU count)")
+	flag.IntVar(&o.workers, "workers", 0, "suite-level parallelism for -run all (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+	flag.BoolVar(&o.short, "short", false, "print one line of scalar anchors per machine instead of full results")
+	flag.StringVar(&o.faults, "faults", "", "fault schedule: a seed for a generated plan, or a schedule-file path ('<at> <kind> <unit>' lines)")
+	flag.Float64Var(&o.deadline, "deadline", 0, "simulated-seconds deadline per benchmark under -faults (0 = none)")
+	flag.IntVar(&o.retries, "retries", 0, "max attempts per benchmark under -faults (0 = default)")
 	flag.Parse()
 
-	if err := runMain(os.Stdout, *machine, *run, *cpus, *workers, *short); err != nil {
+	if err := runMain(os.Stdout, o); err != nil {
 		fail(err)
 	}
 }
 
 // runMain is the testable body of the command.
-func runMain(w io.Writer, machine, benchmark string, cpus, workers int, short bool) error {
-	targets, err := resolveTargets(machine)
+func runMain(w io.Writer, o options) error {
+	injector, err := loadFaults(o.faults)
 	if err != nil {
 		return err
 	}
-	if short {
+	targets, err := resolveTargets(o.machine)
+	if err != nil {
+		return err
+	}
+	if o.short {
 		for _, tgt := range targets {
 			if err := ncar.ShortSummary(w, tgt); err != nil {
 				return err
@@ -53,26 +83,55 @@ func runMain(w io.Writer, machine, benchmark string, cpus, workers int, short bo
 		}
 		return nil
 	}
+	benchmark := o.benchmark
 	if benchmark == "" {
 		// -machine all with no -run means the whole suite; a single
 		// machine with no -run just lists the suite.
-		if machine != "all" {
+		if o.machine != "all" {
 			list(w)
 			return nil
 		}
 		benchmark = "all"
 	}
+	rop := ncar.ResilientOpts{
+		Injector:        injector,
+		DeadlineSeconds: o.deadline,
+		MaxAttempts:     o.retries,
+	}
+	resilient := injector != nil || o.deadline > 0 || o.retries > 0
 	for _, tgt := range targets {
 		if len(targets) > 1 {
 			if _, err := fmt.Fprintf(w, "\n===== %s =====\n", tgt.Name()); err != nil {
 				return err
 			}
 		}
-		if err := runOn(w, tgt, benchmark, cpus, workers); err != nil {
+		if err := runOn(w, tgt, benchmark, o.cpus, o.workers, resilient, rop); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// loadFaults resolves the -faults value: empty means no injector, a
+// decimal integer seeds a generated plan, anything else is read as a
+// schedule file.
+func loadFaults(arg string) (fault.Injector, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	if seed, err := strconv.ParseInt(arg, 10, 64); err == nil {
+		return fault.NewPlan(seed, fault.CanonicalHorizon, fault.CanonicalEvents), nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, fmt.Errorf("-faults is neither a seed nor a readable schedule file: %w", err)
+	}
+	defer f.Close()
+	plan, err := fault.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("-faults %s: %w", arg, err)
+	}
+	return plan, nil
 }
 
 // resolveTargets maps a -machine value to the machines to benchmark.
@@ -96,9 +155,25 @@ func resolveTargets(machine string) ([]sx4bench.Target, error) {
 }
 
 // runOn runs one benchmark name (or the whole suite) on one machine.
-func runOn(w io.Writer, tgt sx4bench.Target, benchmark string, cpus, workers int) error {
+// In resilient mode every benchmark runs under the fault schedule on
+// its own simulated timeline (t = 0 at its start), so the output is
+// deterministic for any -workers value; a benchmark that cannot
+// complete reports its named error and fails the run.
+func runOn(w io.Writer, tgt sx4bench.Target, benchmark string, cpus, workers int, resilient bool, rop ncar.ResilientOpts) error {
+	one := func(tw io.Writer, name string) error {
+		if !resilient {
+			return ncar.RunBenchmark(tw, tgt, name, cpus)
+		}
+		res, err := ncar.RunResilient(tw, tgt, name, cpus, rop)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(tw, "resilient: %s on %s: %d attempt(s), finished t=%.2fs (%s)\n",
+			res.Benchmark, res.Machine, res.Attempts, res.FinishedAt, res.Degraded)
+		return err
+	}
 	if benchmark != "all" {
-		return ncar.RunBenchmark(w, tgt, benchmark, cpus)
+		return one(w, benchmark)
 	}
 	var tasks []sched.Task
 	for _, b := range ncar.Suite() {
@@ -107,7 +182,7 @@ func runOn(w io.Writer, tgt sx4bench.Target, benchmark string, cpus, workers int
 			if _, err := fmt.Fprintf(tw, "\n--- %s (%s) ---\n", b.Name, b.Category); err != nil {
 				return err
 			}
-			return ncar.RunBenchmark(tw, tgt, b.Name, cpus)
+			return one(tw, b.Name)
 		}})
 	}
 	return sched.Stream(w, workers, tasks)

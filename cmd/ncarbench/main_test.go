@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"sx4bench/internal/ncar"
 )
 
 func TestRunMainUnknownMachine(t *testing.T) {
 	var buf bytes.Buffer
-	err := runMain(&buf, "nosuch", "RADABS", 0, 1, false)
+	err := runMain(&buf, options{machine: "nosuch", benchmark: "RADABS", workers: 1})
 	if err == nil {
 		t.Fatal("runMain accepted an unknown machine")
 	}
@@ -22,14 +27,14 @@ func TestRunMainUnknownMachine(t *testing.T) {
 
 func TestRunMainUnknownBenchmark(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runMain(&buf, "sx4-32", "NOSUCH", 0, 1, false); err == nil {
+	if err := runMain(&buf, options{machine: "sx4-32", benchmark: "NOSUCH", workers: 1}); err == nil {
 		t.Error("runMain accepted an unknown benchmark")
 	}
 }
 
 func TestRunMainShortSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runMain(&buf, "all", "", 0, 1, true); err != nil {
+	if err := runMain(&buf, options{machine: "all", workers: 1, short: true}); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
@@ -45,7 +50,7 @@ func TestRunMainShortSweep(t *testing.T) {
 
 func TestRunMainSingleMachineBenchmark(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runMain(&buf, "ymp", "RADABS", 0, 1, false); err != nil {
+	if err := runMain(&buf, options{machine: "ymp", benchmark: "RADABS", workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "CRI Y-MP") {
@@ -55,10 +60,68 @@ func TestRunMainSingleMachineBenchmark(t *testing.T) {
 
 func TestRunMainListsSuiteByDefault(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runMain(&buf, "sx4-32", "", 0, 1, false); err != nil {
+	if err := runMain(&buf, options{machine: "sx4-32", workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "NCAR Benchmark Suite") {
 		t.Errorf("no -run did not list the suite:\n%s", buf.String())
+	}
+}
+
+func TestRunMainSeededFaults(t *testing.T) {
+	var buf bytes.Buffer
+	err := runMain(&buf, options{machine: "sx4-32", benchmark: "RADABS", workers: 1, faults: "1996"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resilient: RADABS") {
+		t.Errorf("-faults run missing the resilience summary line:\n%s", buf.String())
+	}
+}
+
+func TestRunMainFaultScheduleFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.txt")
+	if err := os.WriteFile(path, []byte("# kill early, retry succeeds\n0.001 jobkill 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runMain(&buf, options{machine: "sx4-32", benchmark: "RADABS", workers: 1, faults: path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 attempt(s)") {
+		t.Errorf("schedule file did not force a retry:\n%s", buf.String())
+	}
+}
+
+func TestRunMainBadFaultsArg(t *testing.T) {
+	var buf bytes.Buffer
+	err := runMain(&buf, options{machine: "sx4-32", benchmark: "RADABS", workers: 1, faults: "/no/such/schedule"})
+	if err == nil {
+		t.Fatal("runMain accepted an unreadable -faults value")
+	}
+	if !strings.Contains(err.Error(), "-faults") {
+		t.Errorf("error %q does not explain the -faults value", err)
+	}
+}
+
+func TestRunMainDeadlineExceeded(t *testing.T) {
+	var buf bytes.Buffer
+	err := runMain(&buf, options{machine: "sx4-32", benchmark: "RADABS", workers: 1, deadline: 1e-9})
+	if !errors.Is(err, ncar.ErrDeadlineExceeded) {
+		t.Errorf("err = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestRunMainFaultsDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if err := runMain(&buf, options{machine: "sx4-32", benchmark: "all", workers: workers, faults: "1996"}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	if parallel := render(4); parallel != serial {
+		t.Error("-run all -faults output differs between -workers 1 and -workers 4")
 	}
 }

@@ -10,6 +10,7 @@ import (
 func TestNoClock(t *testing.T) {
 	analysistest.Run(t, "testdata", noclock.Analyzer,
 		"sx4bench/internal/fakemodel",
+		"sx4bench/internal/fault",
 		"sx4bench/cmd/fakecli",
 	)
 }

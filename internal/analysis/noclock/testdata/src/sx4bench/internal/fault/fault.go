@@ -1,0 +1,16 @@
+// Package fault is a noclock fixture for the fault-injection layer:
+// fault schedules are simulated-time (Event.At is seconds on the
+// scheduler's clock, derived from a seed), so wall-clock reads are as
+// forbidden here as in the machine models. Seeding a plan from the
+// host clock would make the canonical resilience golden unreproducible.
+package fault
+
+import "time"
+
+type Event struct{ At float64 }
+
+func Schedule(seed uint64) []Event {
+	_ = time.Now() // want `wall-clock time\.Now in simulated-time package`
+	// Deterministic simulated timestamps from the seed are fine.
+	return []Event{{At: float64(seed%100) / 3.0}}
+}

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"sx4bench"
+	"sx4bench/internal/core"
 )
 
 // DefaultDir is the repository-relative golden directory.
@@ -41,9 +42,11 @@ const DefaultDir = "internal/check/testdata/goldens"
 // Artifacts returns the identifiers of every golden-pinned artifact, in
 // render order: the seven paper tables, the four paper figures, the
 // scalar anchors (RADABS, POP, PRODLOAD), the I/O category, the
-// multinode and profile projections, and the cross-machine suite sweep. The identifiers are the
-// sx4bench.RunExperiment ids, so any golden can be reproduced by hand
-// with `go run ./cmd/figures -exp <id>`.
+// multinode and profile projections, the cross-machine suite sweep,
+// and the resilience sweep (degraded-mode rates and recovery
+// accounting under the canonical fault schedule). The identifiers are
+// the sx4bench.RunExperiment ids, so any golden can be reproduced by
+// hand with `go run ./cmd/figures -exp <id>`.
 //
 // Deliberately absent: "correctness" and "report", whose output embeds
 // PARANOIA/ELEFUNT probes of the host's floating-point arithmetic —
@@ -54,7 +57,7 @@ func Artifacts() []string {
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig5", "fig6", "fig7", "fig8",
 		"radabs", "pop", "prodload", "io",
-		"multinode", "profile", "crossmachine",
+		"multinode", "profile", "crossmachine", "resilience",
 	}
 }
 
@@ -94,9 +97,14 @@ func (m Mismatch) String() string {
 // returns one Mismatch per differing or missing artifact; rendering or
 // filesystem failures (other than a missing golden) are errors.
 func Verify(dir string) ([]Mismatch, error) {
+	return VerifyIDs(dir, Artifacts())
+}
+
+// VerifyIDs is Verify restricted to the given artifact ids.
+func VerifyIDs(dir string, ids []string) ([]Mismatch, error) {
 	m := sx4bench.Benchmarked()
 	var out []Mismatch
-	for _, id := range Artifacts() {
+	for _, id := range ids {
 		got, err := Render(m, id)
 		if err != nil {
 			return nil, err
@@ -122,12 +130,17 @@ func Verify(dir string) ([]Mismatch, error) {
 // on an unchanged model is a no-op with an empty changed list, so
 // `cmd/goldens -update` round-trips to a clean git diff.
 func Update(dir string) ([]string, error) {
+	return UpdateIDs(dir, Artifacts())
+}
+
+// UpdateIDs is Update restricted to the given artifact ids.
+func UpdateIDs(dir string, ids []string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	m := sx4bench.Benchmarked()
 	var changed []string
-	for _, id := range Artifacts() {
+	for _, id := range ids {
 		got, err := Render(m, id)
 		if err != nil {
 			return changed, err
@@ -140,7 +153,7 @@ func Update(dir string) ([]string, error) {
 		if err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return changed, err
 		}
-		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+		if err := core.WriteFileAtomic(path, []byte(got), 0o644); err != nil {
 			return changed, err
 		}
 		changed = append(changed, id)

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.golden")
+
+	if err := WriteFileAtomic(path, []byte("first\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first\n" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite in place.
+	if err := WriteFileAtomic(path, []byte("second\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second\n" {
+		t.Errorf("overwrite read back %q", got)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		for _, e := range entries {
+			t.Logf("left behind: %s", e.Name())
+		}
+		t.Errorf("directory holds %d entries, want just the artifact", len(entries))
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Errorf("mode = %v, want 0644", info.Mode().Perm())
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "missing-parent.txt")
+	// The parent directory does not exist: the write must fail without
+	// creating anything.
+	if err := WriteFileAtomic(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	} else if !strings.Contains(err.Error(), "atomic write") {
+		t.Errorf("error %q does not identify the atomic writer", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("failed write left a file behind")
+	}
+}

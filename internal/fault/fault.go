@@ -1,0 +1,298 @@
+// Package fault is the deterministic fault-injection vocabulary of the
+// benchmark system: the schedule of component failures a production
+// SX-4 must survive, expressed in simulated time so every layer above
+// — the machine models, the SUPER-UX scheduler, the NCAR runners —
+// can consume the same plan and produce byte-identical artifacts.
+//
+// The paper devotes Section 2.6 to SUPER-UX's operability features
+// (Resource Blocks, transparent checkpoint/restart, node-level
+// reconfiguration) precisely because CPUs, memory banks and IOPs
+// misbehave in production. This package models the misbehaviour:
+//
+//   - an Event is one fault at a simulated timestamp — a processor
+//     failure, a memory-bank degradation, an I/O-processor stall, or a
+//     mid-job kill;
+//   - a Plan is a seed-driven (SplitMix64) schedule of events, so a
+//     whole failure scenario is reproduced from one integer;
+//   - the Injector interface is how execution layers accept a plan: a
+//     window query for the events inside a simulated interval, and the
+//     cumulative machine Degradation in force at a time.
+//
+// A nil *Plan is the canonical "no faults" injector: every consumer
+// treats it as an empty schedule, which is what pins the fault-free
+// goldens byte-identical to a build without this package.
+//
+// The package is a leaf: it imports only the standard library, so the
+// model layer, the OS model and the runners can all depend on it
+// without cycles. All times are simulated seconds — never the host
+// clock.
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+const (
+	// CPUFail removes one processor from service. The machine models
+	// lose a CPU; the SUPER-UX scheduler loses the Resource Block the
+	// processor backs and requeues its jobs on the survivors.
+	CPUFail Kind = iota
+	// BankDegrade drops half of the working memory banks (a failed
+	// bank group is configured out, the paper's reconfiguration story).
+	BankDegrade
+	// IOPStall takes one I/O processor out of service.
+	IOPStall
+	// JobKill kills one running batch job mid-flight; SUPER-UX recovers
+	// it from its transparent checkpoint.
+	JobKill
+	numKinds
+)
+
+var kindNames = [...]string{"cpufail", "bankdegrade", "iopstall", "jobkill"}
+
+func (k Kind) String() string {
+	if int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// KindByName resolves a schedule-file spelling to a Kind.
+func KindByName(name string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == strings.ToLower(strings.TrimSpace(name)) {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown fault kind %q (known: %s)",
+		name, strings.Join(kindNames[:], ", "))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the delivery time in simulated seconds from schedule start.
+	At float64
+	// Kind is the fault class.
+	Kind Kind
+	// Unit selects the afflicted component: a processor index for
+	// CPUFail (the scheduler maps it onto a surviving Resource Block),
+	// a running-job ordinal for JobKill, an IOP index for IOPStall.
+	// Consumers reduce it modulo their component count.
+	Unit int
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s unit %d at %ss", e.Kind, e.Unit, strconv.FormatFloat(e.At, 'f', 2, 64))
+}
+
+// Degradation is the cumulative machine-level impact of the faults
+// delivered so far: the graceful-degradation mode a reconfigured node
+// runs in. The zero value means a healthy machine.
+type Degradation struct {
+	// CPUsLost counts failed processors.
+	CPUsLost int
+	// BankHalvings counts BankDegrade events; each halves the working
+	// bank count.
+	BankHalvings int
+	// PortHalvings counts crossbar-port slowdowns; each halves the
+	// per-CPU port width. (BankDegrade implies one: the surviving
+	// banks sit behind fewer crossbar sections.)
+	PortHalvings int
+	// IOPsStalled counts stalled I/O processors.
+	IOPsStalled int
+}
+
+// IsZero reports a healthy machine.
+func (d Degradation) IsZero() bool { return d == Degradation{} }
+
+func (d Degradation) String() string {
+	if d.IsZero() {
+		return "healthy"
+	}
+	return fmt.Sprintf("-%dcpu -%dbankhalf -%dporthalf -%diop",
+		d.CPUsLost, d.BankHalvings, d.PortHalvings, d.IOPsStalled)
+}
+
+// Injector delivers a fault schedule to an execution layer. A Plan is
+// the canonical implementation; layers accept the interface so tests
+// can hand-craft schedules.
+type Injector interface {
+	// Window returns the events with At in the half-open interval
+	// [from, to), in delivery order.
+	Window(from, to float64) []Event
+	// DegradationAt returns the cumulative machine degradation from
+	// every event delivered at or before simulated time t.
+	DegradationAt(t float64) Degradation
+}
+
+// Plan is a deterministic fault schedule: events sorted by delivery
+// time. The zero value and the nil plan are both empty (fault-free).
+type Plan struct {
+	// Seed is the generating seed for seeded plans, zero for parsed or
+	// hand-built ones; it is carried for labeling only.
+	Seed int64
+	// Events is the schedule in delivery order (ascending At, ties in
+	// generation order).
+	Events []Event
+}
+
+var _ Injector = (*Plan)(nil)
+
+// Empty reports whether the plan schedules no faults. Nil-safe.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Window returns the events with At in [from, to). Nil-safe.
+func (p *Plan) Window(from, to float64) []Event {
+	if p == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range p.Events {
+		if e.At >= from && e.At < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DegradationAt accumulates the machine impact of every event with
+// At <= t. Nil-safe.
+func (p *Plan) DegradationAt(t float64) Degradation {
+	var d Degradation
+	if p == nil {
+		return d
+	}
+	for _, e := range p.Events {
+		if e.At > t {
+			continue
+		}
+		switch e.Kind {
+		case CPUFail:
+			d.CPUsLost++
+		case BankDegrade:
+			// Configuring out a bank group also costs the crossbar
+			// sections in front of it.
+			d.BankHalvings++
+			d.PortHalvings++
+		case IOPStall:
+			d.IOPsStalled++
+		}
+	}
+	return d
+}
+
+// sortEvents fixes delivery order: ascending At, stable for ties.
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+}
+
+// splitmix64 is the SplitMix64 finalizer — the repo's standard
+// seed-mixing primitive (core.Noise uses the same construction), kept
+// local so this package stays a leaf.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewPlan derives a schedule of n faults over [0, horizon) seconds
+// from a seed: a SplitMix64 stream supplies each event's time, kind
+// and unit, so the whole scenario is a pure function of (seed,
+// horizon, n) — identical across hosts, worker counts and runs.
+func NewPlan(seed int64, horizon float64, n int) *Plan {
+	if horizon <= 0 || n <= 0 {
+		return &Plan{Seed: seed}
+	}
+	state := splitmix64(uint64(seed))
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		return splitmix64(state)
+	}
+	p := &Plan{Seed: seed, Events: make([]Event, 0, n)}
+	for i := 0; i < n; i++ {
+		u := float64(next()>>11) / (1 << 53) // uniform in [0,1)
+		p.Events = append(p.Events, Event{
+			At:   u * horizon,
+			Kind: Kind(next() % uint64(numKinds)),
+			Unit: int(next() % 32),
+		})
+	}
+	sortEvents(p.Events)
+	return p
+}
+
+// The canonical fault scenario: the seeded plan behind the golden
+// resilience artifact and the `make faults` smoke run. The seed is the
+// paper's year; the horizon spans the resilience workload's makespan
+// on the modeled machines.
+const (
+	CanonicalSeed    = 1996
+	CanonicalHorizon = 300.0
+	CanonicalEvents  = 8
+)
+
+// Canonical returns the canonical seeded plan.
+func Canonical() *Plan { return NewPlan(CanonicalSeed, CanonicalHorizon, CanonicalEvents) }
+
+// Format writes the plan in the schedule-file syntax Parse reads: one
+// "<at-seconds> <kind> <unit>" line per event.
+func (p *Plan) Format(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	for _, e := range p.Events {
+		if _, err := fmt.Fprintf(w, "%s %s %d\n",
+			strconv.FormatFloat(e.At, 'g', -1, 64), e.Kind, e.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse reads a schedule file: one event per line as
+// "<at-seconds> <kind> <unit>", with blank lines and #-comments
+// ignored. Events need not be pre-sorted; delivery order is fixed to
+// ascending time. Negative or non-finite times are rejected.
+func Parse(r io.Reader) (*Plan, error) {
+	p := &Plan{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("fault: line %d: want \"<at> <kind> <unit>\", got %q", lineNo, line)
+		}
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || at < 0 || at != at || at > 1e300 {
+			return nil, fmt.Errorf("fault: line %d: bad time %q", lineNo, fields[0])
+		}
+		kind, err := KindByName(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: %w", lineNo, err)
+		}
+		unit, err := strconv.Atoi(fields[2])
+		if err != nil || unit < 0 {
+			return nil, fmt.Errorf("fault: line %d: bad unit %q", lineNo, fields[2])
+		}
+		p.Events = append(p.Events, Event{At: at, Kind: kind, Unit: unit})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	sortEvents(p.Events)
+	return p, nil
+}

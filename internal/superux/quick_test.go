@@ -3,6 +3,8 @@ package superux
 import (
 	"testing"
 	"testing/quick"
+
+	"sx4bench/internal/fault"
 )
 
 // Property-based scheduler invariants over random job sets.
@@ -134,6 +136,75 @@ func TestQuickCheckpointAnywhereEquivalent(t *testing.T) {
 			return false
 		}
 		return restored.Advance() == refEnd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCheckpointCommutesWithFaults extends the checkpoint-anywhere
+// property to fault schedules: checkpointing at an arbitrary simulated
+// time and restarting (with the same schedule re-attached) must land in
+// exactly the state of an uninterrupted faulted run — checkpoint/restart
+// commutes with fault delivery.
+func TestQuickCheckpointCommutesWithFaults(t *testing.T) {
+	f := func(specs []jobSpec, faultSeed int64, cut uint8) bool {
+		if len(specs) == 0 || len(specs) > 12 {
+			return true
+		}
+		plan := fault.NewPlan(faultSeed, 120, 6)
+		submit := func(s *System) {
+			for _, sp := range specs {
+				s.Submit(Job{
+					Name: "j", Block: "a", CPUs: int(sp.CPUs)%8 + 1, MemGB: 1,
+					Seconds: float64(sp.Seconds%50) + 1, Priority: int(sp.Prio % 4),
+				})
+			}
+		}
+		blocks := func() []ResourceBlock {
+			return []ResourceBlock{
+				{Name: "a", MaxCPUs: 8, MemGB: 64, Policy: FIFO},
+				{Name: "b", MaxCPUs: 8, MemGB: 64, Policy: FIFO},
+			}
+		}
+
+		ref := NewSystem(blocks()...)
+		ref.SetInjector(plan)
+		submit(ref)
+		ref.Advance()
+
+		s := NewSystem(blocks()...)
+		s.SetInjector(plan)
+		submit(s)
+		s.AdvanceUntil(float64(cut)) // checkpoint mid-flight, faults included
+		data, err := s.Checkpoint()
+		if err != nil {
+			return false
+		}
+		restored, err := Restart(data)
+		if err != nil {
+			return false
+		}
+		restored.SetInjector(plan)
+		restored.Advance()
+		// The clock itself may differ when the cut lands after the last
+		// completion (AdvanceUntil parks it at the cut time); the
+		// observable outcome — completion times and job fates — must not.
+		if restored.Makespan() != ref.Makespan() {
+			return false
+		}
+		// Every job lands in the same terminal state with the same
+		// recovery history; none is lost in either run.
+		for id, rj := range ref.Jobs {
+			got, ok := restored.Jobs[id]
+			if !ok || got.State != rj.State || got.Restarts != rj.Restarts ||
+				got.FinishAt != rj.FinishAt || got.Block != rj.Block {
+				return false
+			}
+		}
+		_, _, lostRef := ref.Tally()
+		_, _, lostRestored := restored.Tally()
+		return lostRef == 0 && lostRestored == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

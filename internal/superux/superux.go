@@ -12,6 +12,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+
+	"sx4bench/internal/fault"
 )
 
 // Policy selects a resource block's scheduling style.
@@ -42,6 +44,10 @@ type ResourceBlock struct {
 	MemGB   float64
 	Policy  Policy
 
+	// Failed marks a block whose backing processors were configured out
+	// by a fault; a failed block never runs another job.
+	Failed bool
+
 	usedCPUs int
 	usedMem  float64
 }
@@ -53,6 +59,10 @@ const (
 	Queued JobState = iota
 	Running
 	Done
+	// Failed marks a job that could not be recovered after a fault: no
+	// surviving resource block can hold it. Failed is terminal and
+	// reported — a job is never silently dropped.
+	Failed
 )
 
 func (s JobState) String() string {
@@ -63,6 +73,8 @@ func (s JobState) String() string {
 		return "running"
 	case Done:
 		return "done"
+	case Failed:
+		return "failed"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -82,6 +94,10 @@ type Job struct {
 	StartAt  float64
 	FinishAt float64
 	Output   string // stdout produced so far (qcat reads this)
+
+	// Restarts counts checkpoint-driven recoveries: each fault that
+	// interrupts the job checkpoints it and requeues the remaining work.
+	Restarts int
 }
 
 // Complex is an NQS queue complex: a group of resource blocks sharing
@@ -102,8 +118,15 @@ type System struct {
 
 	Clock  float64
 	nextID int
-	queue  []int // queued job IDs in priority+submission order
+	order  []string // block names in registration order (determinism)
+	queue  []int    // queued job IDs in priority+submission order
 	active []int
+
+	// injector is the attached fault schedule (nil = fault-free);
+	// faultsDelivered counts schedule events already applied, so a
+	// checkpointed system never redelivers a fault after Restart.
+	injector        fault.Injector
+	faultsDelivered int
 }
 
 // NewSystem builds a system with the given resource blocks. Block
@@ -123,6 +146,7 @@ func NewSystem(blocks ...ResourceBlock) *System {
 		}
 		rb := b
 		s.Blocks[b.Name] = &rb
+		s.order = append(s.order, b.Name)
 	}
 	return s
 }
@@ -146,6 +170,16 @@ func (s *System) Submit(j Job) int {
 	j.SubmitAt = s.Clock
 	s.Jobs[j.ID] = &j
 	s.queue = append(s.queue, j.ID)
+	// A submission against a block a fault already took down is
+	// rebound to a surviving block, or reported failed — not dropped.
+	if blk.Failed {
+		if home, ok := s.survivingHome(&j); ok {
+			j.Block = home
+		} else {
+			s.failJob(&j)
+			return j.ID
+		}
+	}
 	s.sortQueue()
 	s.dispatch()
 	return j.ID
@@ -214,7 +248,8 @@ func (s *System) dispatch() {
 	for _, id := range s.queue {
 		j := s.Jobs[id]
 		blk := s.Blocks[j.Block]
-		fits := blk.usedCPUs+j.CPUs <= blk.MaxCPUs && blk.usedMem+j.MemGB <= blk.MemGB &&
+		fits := !blk.Failed &&
+			blk.usedCPUs+j.CPUs <= blk.MaxCPUs && blk.usedMem+j.MemGB <= blk.MemGB &&
 			s.complexAllows(j.Block)
 		if blocked[j.Block] || !fits {
 			if blk.Policy == FIFO {
@@ -228,7 +263,9 @@ func (s *System) dispatch() {
 		j.State = Running
 		j.StartAt = s.Clock
 		j.FinishAt = s.Clock + j.Seconds
-		j.Output = fmt.Sprintf("job %d (%s) started at %.2f\n", j.ID, j.Name, j.StartAt)
+		// Append, not assign: a job restarted from a checkpoint keeps
+		// the output it produced before the fault.
+		j.Output += fmt.Sprintf("job %d (%s) started at %.2f\n", j.ID, j.Name, j.StartAt)
 		s.active = append(s.active, id)
 	}
 	s.queue = append([]int(nil), remaining...)
@@ -236,34 +273,52 @@ func (s *System) dispatch() {
 
 // Advance runs the event loop until no job is running or queued,
 // returning the completion (virtual) time. Jobs submitted before the
-// call are processed; the simulation is deterministic.
+// call are processed; the simulation is deterministic. While jobs run,
+// events from the attached fault schedule are interleaved with
+// completion events in simulated-time order (a completion wins a tie,
+// so a job that finishes exactly when a fault lands has finished).
 func (s *System) Advance() float64 {
 	for len(s.active) > 0 {
-		// Next completion event.
-		next := -1
-		for _, id := range s.active {
-			if next == -1 || s.Jobs[id].FinishAt < s.Jobs[next].FinishAt ||
-				(s.Jobs[id].FinishAt == s.Jobs[next].FinishAt && id < next) {
-				next = id
-			}
+		next := s.nextCompletion()
+		if e, ok := s.nextFault(); ok && e.At < s.Jobs[next].FinishAt {
+			s.deliverFault(e)
+			continue
 		}
-		j := s.Jobs[next]
-		s.Clock = j.FinishAt
-		j.State = Done
-		j.Output += fmt.Sprintf("job %d (%s) finished at %.2f\n", j.ID, j.Name, j.FinishAt)
-		blk := s.Blocks[j.Block]
-		blk.usedCPUs -= j.CPUs
-		blk.usedMem -= j.MemGB
-		// Remove from active.
-		for i, id := range s.active {
-			if id == next {
-				s.active = append(s.active[:i], s.active[i+1:]...)
-				break
-			}
-		}
-		s.dispatch()
+		s.complete(next)
 	}
 	return s.Clock
+}
+
+// nextCompletion returns the active job with the earliest finish time
+// (ties broken by lower ID). Callers guarantee active is non-empty.
+func (s *System) nextCompletion() int {
+	next := -1
+	for _, id := range s.active {
+		if next == -1 || s.Jobs[id].FinishAt < s.Jobs[next].FinishAt ||
+			(s.Jobs[id].FinishAt == s.Jobs[next].FinishAt && id < next) {
+			next = id
+		}
+	}
+	return next
+}
+
+// complete retires one running job and redispatches.
+func (s *System) complete(next int) {
+	j := s.Jobs[next]
+	s.Clock = j.FinishAt
+	j.State = Done
+	j.Output += fmt.Sprintf("job %d (%s) finished at %.2f\n", j.ID, j.Name, j.FinishAt)
+	blk := s.Blocks[j.Block]
+	blk.usedCPUs -= j.CPUs
+	blk.usedMem -= j.MemGB
+	// Remove from active.
+	for i, id := range s.active {
+		if id == next {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.dispatch()
 }
 
 // QCat returns the stdout produced so far by a job — the SUPER-UX NQS
@@ -298,28 +353,35 @@ func (s *System) Makespan() float64 {
 
 // --- checkpoint / restart ---
 
-// snapshot is the serializable scheduler state.
+// snapshot is the serializable scheduler state. The fault injector is
+// deliberately not serialized (it is an interface the runner owns);
+// FaultsDelivered survives so a restarted system with the same
+// schedule re-attached never redelivers an already-applied fault.
 type snapshot struct {
-	Blocks    map[string]ResourceBlock
-	Complexes map[string]Complex
-	Jobs      map[int]Job
-	Clock     float64
-	NextID    int
-	Queue     []int
-	Active    []int
+	Blocks          map[string]ResourceBlock
+	Complexes       map[string]Complex
+	Jobs            map[int]Job
+	Clock           float64
+	NextID          int
+	Order           []string
+	Queue           []int
+	Active          []int
+	FaultsDelivered int
 }
 
 // Checkpoint serializes the full system state; no special programming
 // is required of the jobs.
 func (s *System) Checkpoint() ([]byte, error) {
 	snap := snapshot{
-		Blocks:    map[string]ResourceBlock{},
-		Complexes: map[string]Complex{},
-		Jobs:      map[int]Job{},
-		Clock:     s.Clock,
-		NextID:    s.nextID,
-		Queue:     append([]int(nil), s.queue...),
-		Active:    append([]int(nil), s.active...),
+		Blocks:          map[string]ResourceBlock{},
+		Complexes:       map[string]Complex{},
+		Jobs:            map[int]Job{},
+		Clock:           s.Clock,
+		NextID:          s.nextID,
+		Order:           append([]string(nil), s.order...),
+		Queue:           append([]int(nil), s.queue...),
+		Active:          append([]int(nil), s.active...),
+		FaultsDelivered: s.faultsDelivered,
 	}
 	for name, c := range s.Complexes {
 		snap.Complexes[name] = c
@@ -340,20 +402,29 @@ func (s *System) Checkpoint() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Restart reconstructs a system from a checkpoint.
+// Restart reconstructs a system from a checkpoint. A corrupt snapshot
+// — negative clock, unknown job state, a job referencing an undefined
+// resource block, or a queue/active entry naming a missing job — is
+// rejected rather than round-tripped silently. The fault schedule is
+// not part of the checkpoint; re-attach it with SetInjector.
 func Restart(data []byte) (*System, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("superux: restart: %w", err)
 	}
+	if err := snap.validate(); err != nil {
+		return nil, fmt.Errorf("superux: restart: %w", err)
+	}
 	s := &System{
-		Blocks:    map[string]*ResourceBlock{},
-		Complexes: map[string]Complex{},
-		Jobs:      map[int]*Job{},
-		Clock:     snap.Clock,
-		nextID:    snap.NextID,
-		queue:     snap.Queue,
-		active:    snap.Active,
+		Blocks:          map[string]*ResourceBlock{},
+		Complexes:       map[string]Complex{},
+		Jobs:            map[int]*Job{},
+		Clock:           snap.Clock,
+		nextID:          snap.NextID,
+		order:           snap.Order,
+		queue:           snap.Queue,
+		active:          snap.Active,
+		faultsDelivered: snap.FaultsDelivered,
 	}
 	for name, c := range snap.Complexes {
 		s.Complexes[name] = c
@@ -365,6 +436,15 @@ func Restart(data []byte) (*System, error) {
 	for id, j := range snap.Jobs {
 		jj := j
 		s.Jobs[id] = &jj
+	}
+	// Older checkpoints carry no registration order; fall back to the
+	// lexical order so restarted systems stay deterministic.
+	if len(s.order) != len(s.Blocks) {
+		s.order = s.order[:0]
+		for name := range s.Blocks {
+			s.order = append(s.order, name)
+		}
+		sort.Strings(s.order)
 	}
 	// Recompute block usage from running jobs (usage fields are
 	// unexported and not serialized).
@@ -378,4 +458,40 @@ func Restart(data []byte) (*System, error) {
 		blk.usedMem += j.MemGB
 	}
 	return s, nil
+}
+
+// validate rejects corrupt checkpoints before they become a System.
+func (snap *snapshot) validate() error {
+	switch {
+	case snap.Clock < 0 || snap.Clock != snap.Clock:
+		return fmt.Errorf("negative or NaN clock %v", snap.Clock)
+	case snap.NextID < 0:
+		return fmt.Errorf("negative job counter %d", snap.NextID)
+	case snap.FaultsDelivered < 0:
+		return fmt.Errorf("negative delivered-fault count %d", snap.FaultsDelivered)
+	}
+	for id, j := range snap.Jobs {
+		if j.State < Queued || j.State > Failed {
+			return fmt.Errorf("job %d has unknown state %d", id, int(j.State))
+		}
+		if _, ok := snap.Blocks[j.Block]; !ok {
+			return fmt.Errorf("job %d references undefined resource block %q", id, j.Block)
+		}
+	}
+	for _, id := range snap.Queue {
+		if _, ok := snap.Jobs[id]; !ok {
+			return fmt.Errorf("queued job %d does not exist", id)
+		}
+	}
+	for _, id := range snap.Active {
+		if _, ok := snap.Jobs[id]; !ok {
+			return fmt.Errorf("active job %d does not exist", id)
+		}
+	}
+	for _, name := range snap.Order {
+		if _, ok := snap.Blocks[name]; !ok {
+			return fmt.Errorf("block order names undefined block %q", name)
+		}
+	}
+	return nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"sx4bench/internal/core"
 	"sx4bench/internal/core/sched"
+	"sx4bench/internal/fault"
 	"sx4bench/internal/machine"
 	"sx4bench/internal/ncar"
 	"sx4bench/internal/sx4"
@@ -63,7 +64,7 @@ func Experiments() []string {
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig5", "fig6", "fig7", "fig8",
 		"radabs", "pop", "prodload", "correctness", "io",
-		"multinode", "report", "profile", "crossmachine",
+		"multinode", "report", "profile", "crossmachine", "resilience",
 	}
 }
 
@@ -158,6 +159,12 @@ func RunExperiment(w io.Writer, m Target, id string) error {
 		return ncar.WriteReport(w, m)
 	case "crossmachine":
 		tab, err := ncar.CrossMachineTable()
+		if err != nil {
+			return err
+		}
+		return core.WriteTable(w, tab)
+	case "resilience":
+		tab, err := ncar.ResilienceTable(fault.Canonical())
 		if err != nil {
 			return err
 		}
