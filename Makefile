@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race race-full bench bench-baseline ci smoke faults examples figures report clean goldens goldens-check fuzz-smoke cover
+.PHONY: all build vet lint test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short ci smoke faults examples figures report clean goldens goldens-check fuzz-smoke cover
 
 all: build vet lint test
 
@@ -44,8 +44,9 @@ bench:
 # What CI runs (see .github/workflows/ci.yml): vet (plus staticcheck
 # and govulncheck when installed — CI installs them, local runs skip
 # them gracefully), sx4lint, build, the full test suite under the race
-# detector, the golden-artifact check, and the cross-machine smoke
-# sweep.
+# detector, the golden-artifact check, the cross-machine smoke sweep,
+# the resilience smoke, and the cold-sweep smoke (compiled vs
+# interpreted checksums over 1k memo-cold scenarios).
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -58,6 +59,7 @@ ci:
 	$(GO) run ./cmd/goldens
 	$(GO) run ./cmd/ncarbench -machine all -short
 	$(MAKE) faults
+	$(MAKE) bench-sweep-short
 
 # Cross-machine smoke: one line of scalar anchors per registered
 # machine, exercising the Target registry end to end.
@@ -99,6 +101,18 @@ cover:
 # RunAll wall-clock pair) as BENCH_BASELINE.json.
 bench-baseline:
 	$(GO) test -run '^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_BASELINE.json
+
+# Record the cold-sweep scaling baseline — the memo-cold 10k-scenario
+# sweep across the machine registry at 1/4/8 workers, plus the
+# interpreted-engine ablation whose ratio to the 8-worker run is
+# pinned as coldsweep_compiled_speedup — as BENCH_SWEEP.json.
+# bench-sweep-short is the CI smoke: 1k scenarios, one iteration,
+# checksum cross-checked between every variant.
+bench-sweep:
+	$(GO) test -run '^$$' -bench '^BenchmarkColdSweep10k$$' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_SWEEP.json
+
+bench-sweep-short:
+	$(GO) test -run '^$$' -bench '^BenchmarkColdSweep10k$$' -short -benchtime 1x .
 
 # Regenerate every table and figure of the paper.
 figures:

@@ -27,6 +27,7 @@ import (
 	"sx4bench/internal/core/sched"
 	"sx4bench/internal/fault"
 	"sx4bench/internal/ncar"
+	"sx4bench/internal/target"
 )
 
 // options collects the command's flags.
@@ -45,6 +46,9 @@ type options struct {
 	deadline float64
 	// retries caps the attempts per benchmark; 0 means the default.
 	retries int
+	// cachestats prints each machine's timing-memo counters — shard
+	// occupancy and generation drops included — after its results.
+	cachestats bool
 }
 
 func main() {
@@ -58,6 +62,7 @@ func main() {
 	flag.StringVar(&o.faults, "faults", "", "fault schedule: a seed for a generated plan, or a schedule-file path ('<at> <kind> <unit>' lines)")
 	flag.Float64Var(&o.deadline, "deadline", 0, "simulated-seconds deadline per benchmark under -faults (0 = none)")
 	flag.IntVar(&o.retries, "retries", 0, "max attempts per benchmark under -faults (0 = default)")
+	flag.BoolVar(&o.cachestats, "cachestats", false, "print each machine's timing-memo counters (shard occupancy, generation drops) after its results")
 	flag.Parse()
 
 	if err := runMain(os.Stdout, o); err != nil {
@@ -78,6 +83,9 @@ func runMain(w io.Writer, o options) error {
 	if o.short {
 		for _, tgt := range targets {
 			if err := ncar.ShortSummary(w, tgt); err != nil {
+				return err
+			}
+			if err := printCacheStats(w, tgt, o.cachestats); err != nil {
 				return err
 			}
 		}
@@ -108,8 +116,33 @@ func runMain(w io.Writer, o options) error {
 		if err := runOn(w, tgt, benchmark, o.cpus, o.workers, resilient, rop); err != nil {
 			return err
 		}
+		if err := printCacheStats(w, tgt, o.cachestats); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// printCacheStats reports a machine's timing-memo counters when asked.
+// Machines without a memo (or with one disabled) are skipped silently;
+// the optional target.CacheStatser interface keeps the command above
+// the model layer.
+func printCacheStats(w io.Writer, tgt sx4bench.Target, enabled bool) error {
+	if !enabled {
+		return nil
+	}
+	cs, ok := tgt.(target.CacheStatser)
+	if !ok {
+		return nil
+	}
+	st := cs.CacheStats()
+	if st.Hits+st.Misses == 0 && st.Entries == 0 {
+		return nil
+	}
+	_, err := fmt.Fprintf(w,
+		"cachestats %s: %s; %d shards (deepest holds %d); generation %d, %d stale entries dropped\n",
+		tgt.Name(), st, st.Shards, st.MaxShardEntries, st.Generation, st.GenerationDrops)
+	return err
 }
 
 // loadFaults resolves the -faults value: empty means no injector, a

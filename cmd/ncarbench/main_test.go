@@ -125,3 +125,27 @@ func TestRunMainFaultsDeterministicAcrossWorkers(t *testing.T) {
 		t.Error("-run all -faults output differs between -workers 1 and -workers 4")
 	}
 }
+func TestRunMainCacheStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, options{machine: "sx4-1", benchmark: "RADABS", workers: 1, cachestats: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cachestats SX-4/1:") {
+		t.Fatalf("-cachestats output missing the counter line:\n%s", out)
+	}
+	for _, want := range []string{"shards (deepest holds", "generation", "stale entries dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cachestats line missing %q:\n%s", want, out)
+		}
+	}
+
+	// Off by default: the same run without the flag prints no counters.
+	buf.Reset()
+	if err := runMain(&buf, options{machine: "sx4-1", benchmark: "RADABS", workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "cachestats") {
+		t.Errorf("counters printed without -cachestats:\n%s", buf.String())
+	}
+}

@@ -10,6 +10,7 @@ import (
 func TestLayering(t *testing.T) {
 	analysistest.Run(t, "testdata", layering.Analyzer,
 		"sx4bench/internal/fakerunner",
+		"sx4bench/internal/fakesweep",
 		"sx4bench/internal/machine",
 	)
 }

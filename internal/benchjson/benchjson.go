@@ -36,6 +36,11 @@ type Baseline struct {
 	// RunAllSpeedup is serial ns/op divided by parallel ns/op for the
 	// BenchmarkRunAllSerial / BenchmarkRunAllParallel pair.
 	RunAllSpeedup float64 `json:"runall_parallel_speedup,omitempty"`
+	// ColdSweepSpeedup is the interpreted-engine ablation's ns/op
+	// divided by the compiled path's, both at 8 workers, for the
+	// BenchmarkColdSweep10k pair: what trace compilation buys on a
+	// memo-cold sweep.
+	ColdSweepSpeedup float64 `json:"coldsweep_compiled_speedup,omitempty"`
 }
 
 // Parse reads `go test -bench` text output and collects every
@@ -46,6 +51,7 @@ type Baseline struct {
 func Parse(r io.Reader) (Baseline, error) {
 	var b Baseline
 	var serial, parallel float64
+	var sweepCompiled, sweepInterp float64
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -74,6 +80,10 @@ func Parse(r io.Reader) (Baseline, error) {
 			serial = r.NsPerOp
 		case "BenchmarkRunAllParallel":
 			parallel = r.NsPerOp
+		case "BenchmarkColdSweep10k/workers=8":
+			sweepCompiled = r.NsPerOp
+		case "BenchmarkColdSweep10k/uncompiled/workers=8":
+			sweepInterp = r.NsPerOp
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -84,6 +94,9 @@ func Parse(r io.Reader) (Baseline, error) {
 	}
 	if serial > 0 && parallel > 0 {
 		b.RunAllSpeedup = serial / parallel
+	}
+	if sweepCompiled > 0 && sweepInterp > 0 {
+		b.ColdSweepSpeedup = sweepInterp / sweepCompiled
 	}
 	return b, nil
 }

@@ -157,12 +157,23 @@ func StepTrace(res Resolution) prog.Program {
 	return prog.Program{Name: fmt.Sprintf("CCM2-%s-step", res.Name), Phases: phases}
 }
 
+// stepTraces caches the compiled step trace per resolution: every
+// Figure 8 point, Table 5/6 simulation and PRODLOAD job re-times the
+// same step shape, and the trace is a pure function of the resolution.
+var stepTraces target.TraceCache[Resolution]
+
+// CompiledStepTrace returns the step trace in its cached compiled
+// form, for callers that time the same resolution repeatedly.
+func CompiledStepTrace(res Resolution) target.CompiledTrace {
+	return stepTraces.Get(res, func() prog.Program { return StepTrace(res) })
+}
+
 // StepFlops returns the credited flop count of one step.
-func StepFlops(res Resolution) int64 { return StepTrace(res).Flops() }
+func StepFlops(res Resolution) int64 { return CompiledStepTrace(res).Compiled.Flops }
 
 // StepSeconds simulates one time step on the target machine.
 func StepSeconds(m target.Target, res Resolution, procs, active int) float64 {
-	return m.Run(StepTrace(res), target.RunOpts{Procs: procs, ActiveCPUs: active}).Seconds
+	return CompiledStepTrace(res).Run(m, target.RunOpts{Procs: procs, ActiveCPUs: active}).Seconds
 }
 
 // SustainedGFLOPS returns the model's sustained rate at a resolution

@@ -255,3 +255,21 @@ func Run(ex Executor, p prog.Program, opts target.RunOpts, ktries int, noise *No
 	})
 	return Measurement{Seconds: best, Flops: r.Flops, PayloadBytes: payloadBytes}
 }
+
+// RunCompiled is Run for a pre-compiled trace: sweep drivers that
+// revisit the same trace shape across points, machines or KTRIES
+// draws cache the compiled form once and skip rebuilding and
+// re-hashing the program on every measurement. The reported numbers
+// are bit-identical to Run on the source program.
+func RunCompiled(ex Executor, ct target.CompiledTrace, opts target.RunOpts, ktries int, noise *Noise, payloadBytes int64) Measurement {
+	var r target.Result
+	if cr, ok := ex.(target.CompiledRunner); ok && ct.Compiled != nil {
+		r = cr.RunCompiled(ct.Compiled, opts)
+	} else {
+		r = ex.Run(ct.Program, opts)
+	}
+	best := KTries(ktries, func() float64 {
+		return noise.Perturb(r.Seconds)
+	})
+	return Measurement{Seconds: best, Flops: r.Flops, PayloadBytes: payloadBytes}
+}

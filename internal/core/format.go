@@ -16,6 +16,12 @@ func Float(x float64) string {
 	return strconv.FormatFloat(x, 'g', -1, 64)
 }
 
+// AppendFloat appends Float's exact bytes to dst — the allocation-free
+// form for render loops that reuse one buffer across lines.
+func AppendFloat(dst []byte, x float64) []byte {
+	return strconv.AppendFloat(dst, x, 'g', -1, 64)
+}
+
 // Fixed renders x with a fixed number of decimals, the %.<prec>f form
 // the paper's tables use.
 func Fixed(x float64, prec int) string {

@@ -22,16 +22,29 @@ func WriteTable(w io.Writer, t Table) error {
 	if _, err := fmt.Fprintf(w, "%s: %s\n", t.ID, t.Title); err != nil {
 		return err
 	}
+	// One buffer serves every line: cells are left-padded to their
+	// column width, joined by two spaces, with trailing spaces trimmed —
+	// the same bytes the fmt-based form produced, without the per-cell
+	// string churn.
+	var buf []byte
 	line := func(cells []string) error {
-		parts := make([]string, len(cells))
+		buf = buf[:0]
 		for i, c := range cells {
-			width := 0
-			if i < len(widths) {
-				width = widths[i]
+			if i > 0 {
+				buf = append(buf, "  "...)
 			}
-			parts[i] = fmt.Sprintf("%-*s", width, c)
+			buf = append(buf, c...)
+			if i < len(widths) {
+				for pad := widths[i] - len(c); pad > 0; pad-- {
+					buf = append(buf, ' ')
+				}
+			}
 		}
-		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		for len(buf) > 0 && buf[len(buf)-1] == ' ' {
+			buf = buf[:len(buf)-1]
+		}
+		buf = append(buf, '\n')
+		_, err := w.Write(buf)
 		return err
 	}
 	if err := line(t.Headers); err != nil {
@@ -58,12 +71,17 @@ func WriteFigure(w io.Writer, f Figure) error {
 	if _, err := fmt.Fprintf(w, "%s: %s\n# x: %s\n# y: %s\n", f.ID, f.Title, f.XLabel, f.YLabel); err != nil {
 		return err
 	}
+	var buf []byte
 	for _, s := range f.Series {
 		if _, err := fmt.Fprintf(w, "## series: %s\n", s.Label); err != nil {
 			return err
 		}
 		for _, p := range s.Points {
-			if _, err := fmt.Fprintf(w, "%s\t%s\n", Float(p.X), Float(p.Y)); err != nil {
+			buf = AppendFloat(buf[:0], p.X)
+			buf = append(buf, '\t')
+			buf = AppendFloat(buf, p.Y)
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
 				return err
 			}
 		}

@@ -127,6 +127,32 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return nil
 }
 
+// ForEachGrain is ForEach with the index space batched into contiguous
+// spans of up to grain indexes, so a sweep of many very small tasks
+// (the 10k-scenario cold sweep) pays one scheduling handoff per span
+// instead of per index. Semantics match ForEach exactly: every span
+// runs, a span stops at its first error (the serial early return
+// within the span), and the error returned is the first in index
+// order. grain <= 1 degenerates to plain ForEach.
+func ForEachGrain(workers, n, grain int, fn func(i int) error) error {
+	if grain <= 1 {
+		return ForEach(workers, n, fn)
+	}
+	spans := (n + grain - 1) / grain
+	return ForEach(workers, spans, func(s int) error {
+		hi := (s + 1) * grain
+		if hi > n {
+			hi = n
+		}
+		for i := s * grain; i < hi; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // Map runs fn over [0, n) on a bounded pool and collects the values in
 // index order. Like ForEach, every index runs and the first error in
 // index order is returned alongside the (complete) slice.

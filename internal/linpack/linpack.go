@@ -194,8 +194,13 @@ func Trace(n int) prog.Program {
 	}
 }
 
+// traces caches the compiled factorization trace per order: the
+// comparison tables re-time the same orders on every machine.
+var traces target.TraceCache[int]
+
 // MFLOPS models the benchmark rate on a machine at order n.
 func MFLOPS(m target.Target, n int) float64 {
-	r := m.Run(Trace(n), target.RunOpts{Procs: 1})
+	ct := traces.Get(n, func() prog.Program { return Trace(n) })
+	r := ct.Run(m, target.RunOpts{Procs: 1})
 	return Flops(n) / r.Seconds / 1e6
 }

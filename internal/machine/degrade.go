@@ -36,6 +36,11 @@ func (w *Workstation) Degraded(d fault.Degradation) (target.Target, error) {
 	}
 	c := *w
 	c.memo = target.NewMemo()
+	if w.progs != nil {
+		// Compiled timings bake in the healthy memory and cache rates;
+		// the degraded copy must recompile against its own.
+		c.progs = &target.FPCache[*wsTiming]{}
+	}
 	for i := 0; i < d.BankHalvings; i++ {
 		c.MemWordsPerClock /= 2
 	}
@@ -44,5 +49,8 @@ func (w *Workstation) Degraded(d fault.Degradation) (target.Target, error) {
 	}
 	// IOP stalls do not affect the workstation compute model (no I/O
 	// subsystem is modeled; the disk-dependent rows are gated off).
+	if c.fp != 0 {
+		c.fp = c.computeFingerprint()
+	}
 	return &c, nil
 }

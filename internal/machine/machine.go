@@ -148,30 +148,47 @@ type Workstation struct {
 	// fingerprint; nil (the zero value) disables memoization, so
 	// literal-constructed Workstations keep working.
 	memo *target.Memo
+	// progs caches compiled per-phase timings keyed by program
+	// fingerprint — the workstation model ignores RunOpts entirely, so
+	// a compiled trace answers every memo-cold Run with a flat copy.
+	// nil (the zero value) interprets the trace each time.
+	progs *target.FPCache[*wsTiming]
+	// fp is the precomputed configuration fingerprint; zero (the
+	// literal-construction default) recomputes on every call, so
+	// hand-built workstations stay correct under field mutation. The
+	// registered constructors and Degraded stamp it — like the rest of
+	// the model, stamped machines follow "configure first, then share".
+	fp uint64
 }
 
 var _ target.Target = (*Workstation)(nil)
 
 // SunSparc20 models a 75 MHz SuperSPARC SUN Sparc 20.
 func SunSparc20() *Workstation {
-	return &Workstation{
+	w := &Workstation{
 		ModelName: "SUN Sparc 20", ClockNS: 13.33,
 		FlopsPerClock: 0.55, CacheKB: 16,
 		CacheWordsPerClock: 1, MemWordsPerClock: 0.12,
 		GatherPenalty: 1.5, IntrinsicClocks: 100, IssuePerClock: 1.2,
-		memo: target.NewMemo(),
+		memo:  target.NewMemo(),
+		progs: &target.FPCache[*wsTiming]{},
 	}
+	w.fp = w.computeFingerprint()
+	return w
 }
 
 // IBMRS6000590 models a 66.5 MHz POWER2 IBM RS6000/590.
 func IBMRS6000590() *Workstation {
-	return &Workstation{
+	w := &Workstation{
 		ModelName: "IBM RS6000/590", ClockNS: 15.04,
 		FlopsPerClock: 2.2, CacheKB: 256,
 		CacheWordsPerClock: 2, MemWordsPerClock: 0.4,
 		GatherPenalty: 1.5, IntrinsicClocks: 70, IssuePerClock: 2,
-		memo: target.NewMemo(),
+		memo:  target.NewMemo(),
+		progs: &target.FPCache[*wsTiming]{},
 	}
+	w.fp = w.computeFingerprint()
+	return w
 }
 
 // Name returns the model designation.
@@ -198,10 +215,21 @@ func (w *Workstation) Spec() target.Spec {
 	}
 }
 
-// Fingerprint hashes the model parameters (field by field — the
+// Fingerprint returns the configuration fingerprint: the stamped one
+// when the workstation came from a constructor, recomputed per call
+// otherwise. A memo-cold Run pays the hash on every lookup, so
+// stamping matters in sweep loops.
+func (w *Workstation) Fingerprint() uint64 {
+	if w.fp != 0 {
+		return w.fp
+	}
+	return w.computeFingerprint()
+}
+
+// computeFingerprint hashes the model parameters (field by field — the
 // unexported memo pointer must not enter the hash), so memoized
 // timings can never be served across model variants.
-func (w *Workstation) Fingerprint() uint64 {
+func (w *Workstation) computeFingerprint() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "ws|%s|%v|%v|%d|%v|%v|%v|%v|%v",
 		w.ModelName, w.ClockNS, w.FlopsPerClock, w.CacheKB,
@@ -210,11 +238,14 @@ func (w *Workstation) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
-// Clone returns a fresh workstation with the same parameters and a
-// cold timing memo.
+// Clone returns a fresh workstation with the same parameters, a cold
+// timing memo and a cold compiled-trace cache.
 func (w *Workstation) Clone() target.Target {
 	c := *w
 	c.memo = target.NewMemo()
+	if w.progs != nil {
+		c.progs = &target.FPCache[*wsTiming]{}
+	}
 	return &c
 }
 
@@ -227,33 +258,141 @@ func (w *Workstation) CacheStats() target.CacheStats {
 }
 
 // Run executes a trace on the workstation model. opts.Procs is ignored
-// (the Table 1 comparisons are single-processor).
+// (the Table 1 comparisons are single-processor). Memo misses execute
+// the compiled trace when the compiled path is enabled; results are
+// bit-identical to the interpreted engine either way.
 func (w *Workstation) Run(p prog.Program, opts sx4.RunOpts) sx4.Result {
-	if w.memo == nil {
+	if w.memo == nil && w.progs == nil {
 		return w.simulate(p)
 	}
-	k := target.MemoKey{Config: w.Fingerprint(), Program: p.Fingerprint(), Opts: opts}
-	if r, ok := w.memo.Lookup(k); ok {
-		return r
+	fp := p.Fingerprint()
+	var k target.MemoKey
+	if w.memo != nil {
+		k = target.MemoKey{Config: w.Fingerprint(), Program: fp, Opts: opts}
+		if r, ok := w.memo.Lookup(k); ok {
+			return r
+		}
 	}
-	r := w.simulate(p)
-	w.memo.Store(k, r)
+	var r sx4.Result
+	if w.progs != nil {
+		ct := w.progs.LoadOrStore(fp, func() *wsTiming {
+			return w.compile(prog.MustCompile(p))
+		})
+		r = ct.result()
+	} else {
+		r = w.simulate(p)
+	}
+	if w.memo != nil {
+		w.memo.Store(k, r)
+	}
 	return r
 }
 
-// simulate evaluates the model without consulting the memo.
+// RunCompiled is Run for a pre-flattened trace: c carries its
+// fingerprint, so the memo and compiled-timing caches are keyed
+// without re-hashing the program structure on every call. Results are
+// bit-identical to Run on the source program.
+func (w *Workstation) RunCompiled(c *prog.Compiled, opts sx4.RunOpts) sx4.Result {
+	var k target.MemoKey
+	if w.memo != nil {
+		k = target.MemoKey{Config: w.Fingerprint(), Program: c.Fingerprint, Opts: opts}
+		if r, ok := w.memo.Lookup(k); ok {
+			return r
+		}
+	}
+	var r sx4.Result
+	if w.progs != nil {
+		r = w.progs.LoadOrStore(c.Fingerprint, func() *wsTiming { return w.compile(c) }).result()
+	} else {
+		r = w.compile(c).result()
+	}
+	if w.memo != nil {
+		w.memo.Store(k, r)
+	}
+	return r
+}
+
+// SetCompiled enables or disables the compiled-trace execution path
+// (enabled for the registered constructors; the zero value starts
+// disabled). Must not race with concurrent Run calls.
+func (w *Workstation) SetCompiled(enabled bool) {
+	if enabled {
+		if w.progs == nil {
+			w.progs = &target.FPCache[*wsTiming]{}
+		}
+		return
+	}
+	w.progs = nil
+}
+
+// wsTiming is a program compiled against the workstation model: the
+// model ignores RunOpts, so the whole result — per-phase clocks
+// included — is a program-level invariant computed once per
+// fingerprint.
+type wsTiming struct {
+	name    string
+	clocks  float64
+	seconds float64
+	flops   int64
+	words   int64
+	phases  []sx4.PhaseTime
+}
+
+// result materializes a Result from the compiled timing. Phases are
+// copied so callers can alias the returned slice freely.
+func (t *wsTiming) result() sx4.Result {
+	r := sx4.Result{
+		Program: t.name, Procs: 1,
+		Clocks: t.clocks, Seconds: t.seconds,
+		Flops: t.flops, Words: t.words,
+	}
+	if len(t.phases) > 0 {
+		r.Phases = append([]sx4.PhaseTime(nil), t.phases...)
+	}
+	return r
+}
+
+// compile evaluates the flattened trace once, mirroring simulate
+// operation for operation so compiled results are bit-identical.
+func (w *Workstation) compile(c *prog.Compiled) *wsTiming {
+	t := &wsTiming{name: c.Name}
+	if len(c.Phases) > 0 {
+		t.phases = make([]sx4.PhaseTime, 0, len(c.Phases))
+	}
+	for i := range c.Phases {
+		ph := &c.Phases[i]
+		var phClocks float64
+		for _, l := range c.PhaseLoops(*ph) {
+			phClocks += float64(l.Trips) * w.tripClocks(c.Body(l))
+			t.words += l.Words
+		}
+		phClocks += ph.SerialClocks
+		t.phases = append(t.phases, sx4.PhaseTime{Name: ph.Name, Clocks: phClocks, Flops: ph.Flops})
+		t.clocks += phClocks
+		t.flops += ph.Flops
+	}
+	t.seconds = t.clocks * w.ClockNS * 1e-9
+	return t
+}
+
+// simulate evaluates the model by interpreting the trace, consulting
+// neither the memo nor the compiled-trace cache: the differential
+// oracle the compiled path is checked against.
 func (w *Workstation) simulate(p prog.Program) sx4.Result {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	res := sx4.Result{Program: p.Name, Procs: 1}
+	if len(p.Phases) > 0 {
+		res.Phases = make([]sx4.PhaseTime, 0, len(p.Phases))
+	}
 	for _, ph := range p.Phases {
 		var phClocks float64
 		for _, l := range ph.Loops {
 			if l.Trips == 0 {
 				continue
 			}
-			phClocks += float64(l.Trips) * w.tripClocks(l)
+			phClocks += float64(l.Trips) * w.tripClocks(l.Body)
 			res.Words += l.Words()
 		}
 		phClocks += ph.SerialClocks
@@ -267,18 +406,18 @@ func (w *Workstation) simulate(p prog.Program) sx4.Result {
 }
 
 // tripClocks costs one loop-body trip on the scalar machine.
-func (w *Workstation) tripClocks(l prog.Loop) float64 {
+func (w *Workstation) tripClocks(body []prog.Op) float64 {
 	// Working set: bytes one trip touches; if the trip's arrays fit in
 	// the data cache they are served at cache speed on repeated passes
 	// (the KTRIES best-of-k rule measures the warm case).
 	var tripWords int64
-	for _, op := range l.Body {
+	for _, op := range body {
 		tripWords += op.Words()
 	}
 	inCache := float64(tripWords)*8 <= float64(w.CacheKB)*1024
 
 	var clocks float64
-	for _, op := range l.Body {
+	for _, op := range body {
 		vl := float64(op.VL)
 		switch op.Class {
 		case prog.VAdd, prog.VMul, prog.VDiv:

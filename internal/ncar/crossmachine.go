@@ -44,7 +44,7 @@ func CrossMachineTable() (core.Table, error) {
 	}
 	targets := make([]target.Target, 0, len(names))
 	for _, name := range names {
-		tgt, err := target.Lookup(name)
+		tgt, err := sharedTarget(name)
 		if err != nil {
 			return core.Table{}, fmt.Errorf("ncar: cross-machine sweep: %w", err)
 		}
@@ -77,29 +77,29 @@ func CrossMachineTable() (core.Table, error) {
 
 	copyK := last(kernels.CopySweep(1))
 	row("COPY (MB/s)", func(tgt target.Target) string {
-		r := tgt.Run(copyK.Trace(), opts1)
+		r := copyTrace(copyK).Run(tgt, opts1)
 		return fmt.Sprintf("%.1f", float64(copyK.PayloadBytes())/r.Seconds/1e6)
 	})
 	iaK := last(kernels.IASweep(1))
 	row("IA (MB/s)", func(tgt target.Target) string {
-		r := tgt.Run(iaK.Trace(), opts1)
+		r := iaTrace(iaK).Run(tgt, opts1)
 		return fmt.Sprintf("%.1f", float64(iaK.PayloadBytes())/r.Seconds/1e6)
 	})
 	xpK := last(kernels.XposeSweep(1))
 	row("XPOSE (MB/s)", func(tgt target.Target) string {
-		r := tgt.Run(xpK.Trace(), opts1)
+		r := xposeTrace(xpK).Run(tgt, opts1)
 		return fmt.Sprintf("%.1f", float64(xpK.PayloadBytes())/r.Seconds/1e6)
 	})
 
 	const rfftN = 1024
 	rfftM := fftpack.RFFTInstances(rfftN)
 	row("RFFT (MFLOPS)", func(tgt target.Target) string {
-		r := tgt.Run(fftpack.RFFTTrace(rfftN, rfftM), opts1)
+		r := rfftTrace(rfftN, rfftM).Run(tgt, opts1)
 		return fmt.Sprintf("%.1f", fftpack.NominalMFLOPS(rfftN, rfftM, r.Seconds))
 	})
 	const vfftN, vfftM = 256, 500
 	row("VFFT (MFLOPS)", func(tgt target.Target) string {
-		r := tgt.Run(fftpack.VFFTTrace(vfftN, vfftM), opts1)
+		r := vfftTrace(vfftN, vfftM).Run(tgt, opts1)
 		return fmt.Sprintf("%.1f", fftpack.NominalMFLOPS(vfftN, vfftM, r.Seconds))
 	})
 

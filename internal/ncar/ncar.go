@@ -116,14 +116,14 @@ func Table1() core.Table {
 	// never names a concrete model type.
 	targets := make([]target.Target, 0, 4)
 	for _, name := range []string{"sparc20", "rs6000", "j90", "ymp"} {
-		targets = append(targets, target.MustLookup(name))
+		targets = append(targets, mustSharedTarget(name))
 	}
 	hintRow := []string{"HINT (MQUIPS)"}
 	radRow := []string{"RADABS (MFLOPS)"}
-	p := radabs.Trace(radabs.BenchmarkColumns, radabs.DefaultLevels)
+	p := radabsTrace(radabs.BenchmarkColumns, radabs.DefaultLevels)
 	for _, tgt := range targets {
 		hintRow = append(hintRow, fmt.Sprintf("%.1f", hint.ModelMQUIPS(tgt.Scalar())))
-		r := tgt.Run(p, target.RunOpts{Procs: 1})
+		r := p.Run(tgt, target.RunOpts{Procs: 1})
 		radRow = append(radRow, fmt.Sprintf("%.1f", r.MFLOPS()))
 	}
 	t.Rows = [][]string{hintRow, radRow}
@@ -132,7 +132,7 @@ func Table1() core.Table {
 
 // Table2 renders the benchmarked system's specifications.
 func Table2() core.Table {
-	c := target.MustLookup("sx4-32").Spec()
+	c := mustSharedTarget("sx4-32").Spec()
 	t := core.Table{
 		ID:      "table2",
 		Title:   "Specifications of the NEC SX-4/32 system used for the benchmarks",
@@ -255,21 +255,21 @@ func Fig5(m target.Target, perDecade int) core.Figure {
 	copyKs := kernels.CopySweep(perDecade)
 	copySeries := sweepPoints(m, len(copyKs), noise, 0, func(i int, s *core.Noise) core.Point {
 		k := copyKs[i]
-		meas := core.Run(m, k.Trace(), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
+		meas := core.RunCompiled(m, copyTrace(k), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
 		return core.Point{X: float64(k.N), Y: meas.MBps()}
 	})
 	copySeries.Label = "COPY"
 	iaKs := kernels.IASweep(perDecade)
 	iaSeries := sweepPoints(m, len(iaKs), noise, 1000, func(i int, s *core.Noise) core.Point {
 		k := iaKs[i]
-		meas := core.Run(m, k.Trace(), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
+		meas := core.RunCompiled(m, iaTrace(k), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
 		return core.Point{X: float64(k.N), Y: meas.MBps()}
 	})
 	iaSeries.Label = "IA"
 	xpKs := kernels.XposeSweep(perDecade)
 	xpSeries := sweepPoints(m, len(xpKs), noise, 2000, func(i int, s *core.Noise) core.Point {
 		k := xpKs[i]
-		meas := core.Run(m, k.Trace(), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
+		meas := core.RunCompiled(m, xposeTrace(k), target.RunOpts{Procs: 1}, 20, s, k.PayloadBytes())
 		return core.Point{X: float64(k.N), Y: meas.MBps()}
 	})
 	xpSeries.Label = "XPOSE"
@@ -286,12 +286,13 @@ func Fig6(m target.Target) core.Figure {
 		XLabel: "FFT length N",
 		YLabel: "MFLOPS",
 	}
+	rfftLengths := fftpack.RFFTLengths()
 	for fi, fam := range []string{"2^n", "3*2^n", "5*2^n"} {
-		lengths := fftpack.RFFTLengths()[fam]
+		lengths := rfftLengths[fam]
 		s := sweepPoints(m, len(lengths), noise, int64(1000*fi), func(i int, st *core.Noise) core.Point {
 			n := lengths[i]
 			mm := fftpack.RFFTInstances(n)
-			meas := core.Run(m, fftpack.RFFTTrace(n, mm), target.RunOpts{Procs: 1}, 20, st, 0)
+			meas := core.RunCompiled(m, rfftTrace(n, mm), target.RunOpts{Procs: 1}, 20, st, 0)
 			return core.Point{X: float64(n), Y: fftpack.NominalMFLOPS(n, mm, meas.Seconds)}
 		})
 		s.Label = fam
@@ -310,11 +311,12 @@ func Fig7(m target.Target) core.Figure {
 		XLabel: "FFT length N",
 		YLabel: "MFLOPS",
 	}
+	vfftLengths := fftpack.VFFTLengths()
 	for fi, fam := range []string{"2^n", "3*2^n", "5*2^n"} {
-		lengths := fftpack.VFFTLengths()[fam]
+		lengths := vfftLengths[fam]
 		s := sweepPoints(m, len(lengths), noise, int64(1000*fi), func(i int, st *core.Noise) core.Point {
 			n := lengths[i]
-			meas := core.Run(m, fftpack.VFFTTrace(n, 500), target.RunOpts{Procs: 1}, 5, st, 0)
+			meas := core.RunCompiled(m, vfftTrace(n, 500), target.RunOpts{Procs: 1}, 5, st, 0)
 			return core.Point{X: float64(n), Y: fftpack.NominalMFLOPS(n, 500, meas.Seconds)}
 		})
 		s.Label = fam + " (M=500)"
@@ -322,7 +324,7 @@ func Fig7(m target.Target) core.Figure {
 	}
 	sweep := sweepPoints(m, len(fftpack.VFFTInstanceCounts), noise, 3000, func(i int, st *core.Noise) core.Point {
 		mm := fftpack.VFFTInstanceCounts[i]
-		meas := core.Run(m, fftpack.VFFTTrace(256, mm), target.RunOpts{Procs: 1}, 5, st, 0)
+		meas := core.RunCompiled(m, vfftTrace(256, mm), target.RunOpts{Procs: 1}, 5, st, 0)
 		return core.Point{X: float64(mm), Y: fftpack.NominalMFLOPS(256, mm, meas.Seconds)}
 	})
 	sweep.Label = "N=256, M sweep"
@@ -354,8 +356,8 @@ func Fig8(m target.Target) core.Figure {
 
 // RADABSMFlops returns the single-CPU RADABS rate (paper: 865.9).
 func RADABSMFlops(m target.Target) float64 {
-	p := radabs.Trace(radabs.BenchmarkColumns, radabs.DefaultLevels)
-	return m.Run(p, target.RunOpts{Procs: 1}).MFLOPS()
+	p := radabsTrace(radabs.BenchmarkColumns, radabs.DefaultLevels)
+	return p.Run(m, target.RunOpts{Procs: 1}).MFLOPS()
 }
 
 // POPMFlops returns the single-CPU 2-degree POP rate (paper: 537).

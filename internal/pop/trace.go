@@ -99,13 +99,23 @@ func StepTrace(cfg Config) prog.Program {
 	}
 }
 
+// stepTraces caches the compiled step trace per configuration for the
+// read-only run sites. StepTrace itself stays a fresh builder —
+// VectorizedCSHIFTSpeedup edits the returned program in place, which
+// must never reach a shared copy.
+var stepTraces target.TraceCache[Config]
+
+func compiledStepTrace(cfg Config) target.CompiledTrace {
+	return stepTraces.Get(cfg, func() prog.Program { return StepTrace(cfg) })
+}
+
 // StepFlops returns the credited flops per step.
-func StepFlops(cfg Config) int64 { return StepTrace(cfg).Flops() }
+func StepFlops(cfg Config) int64 { return compiledStepTrace(cfg).Compiled.Flops }
 
 // SustainedMFLOPS returns the single-processor rate of the 2-degree
 // benchmark — the paper's 537 MFLOPS observation.
 func SustainedMFLOPS(m target.Target) float64 {
-	r := m.Run(StepTrace(TwoDegree), target.RunOpts{Procs: 1})
+	r := compiledStepTrace(TwoDegree).Run(m, target.RunOpts{Procs: 1})
 	return r.MFLOPS()
 }
 

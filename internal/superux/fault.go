@@ -18,18 +18,25 @@ const RestartOverheadSeconds = 5.0
 // simulated-time order. A nil injector (the default) is fault-free;
 // attaching one after a Restart resumes delivery where the checkpoint
 // left off.
-func (s *System) SetInjector(inj fault.Injector) { s.injector = inj }
+func (s *System) SetInjector(inj fault.Injector) {
+	s.injector = inj
+	s.schedule = nil
+	s.scheduleLoaded = false
+}
 
 // nextFault returns the earliest schedule event not yet delivered.
 func (s *System) nextFault() (fault.Event, bool) {
 	if s.injector == nil {
 		return fault.Event{}, false
 	}
-	evs := s.injector.Window(0, math.Inf(1))
-	if s.faultsDelivered >= len(evs) {
+	if !s.scheduleLoaded {
+		s.schedule = s.injector.Window(0, math.Inf(1))
+		s.scheduleLoaded = true
+	}
+	if s.faultsDelivered >= len(s.schedule) {
 		return fault.Event{}, false
 	}
-	return evs[s.faultsDelivered], true
+	return s.schedule[s.faultsDelivered], true
 }
 
 // deliverFault applies one schedule event to the scheduler. CPU

@@ -127,6 +127,11 @@ type System struct {
 	// checkpointed system never redelivers a fault after Restart.
 	injector        fault.Injector
 	faultsDelivered int
+	// schedule caches the injector's full event window: the event loop
+	// consults the next undelivered fault on every step, and the
+	// schedule is immutable once attached.
+	schedule       []fault.Event
+	scheduleLoaded bool
 }
 
 // NewSystem builds a system with the given resource blocks. Block

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"hash/fnv"
 
-	"sx4bench/internal/sx4/prog"
 	"sx4bench/internal/target"
 )
 
@@ -44,6 +43,11 @@ func (m *Machine) SetConfig(cfg Config) error {
 	if m.cache != nil {
 		m.cache.DropStale(m.fingerprint)
 	}
+	// Compiled trace timings are configuration-dependent (trip costs,
+	// stride factors, loop overhead); none survive a reconfiguration.
+	if m.progs != nil {
+		m.progs.Clear()
+	}
 	return nil
 }
 
@@ -74,17 +78,3 @@ func (m *Machine) CacheStats() CacheStats {
 	return m.cache.Stats()
 }
 
-// runCached consults the memo before simulating, and is safe for
-// concurrent use.
-func (m *Machine) runCached(p prog.Program, opts RunOpts) (Result, bool) {
-	if m.cache == nil {
-		return Result{}, false
-	}
-	k := target.MemoKey{Config: m.fingerprint, Program: p.Fingerprint(), Opts: opts}
-	if r, ok := m.cache.Lookup(k); ok {
-		return r, true
-	}
-	r := m.simulate(p, opts)
-	m.cache.Store(k, r)
-	return r, true
-}

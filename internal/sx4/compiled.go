@@ -1,0 +1,239 @@
+package sx4
+
+import (
+	"sx4bench/internal/sx4/prog"
+	"sx4bench/internal/target"
+)
+
+// The compiled execution path. prog.Compile flattens a Program into
+// contiguous phase/loop/op arrays once; compile below layers the
+// configuration-dependent per-loop invariants on top (trip resource
+// costs, uncontended trip clocks, per-CPU port demand, memory-bound
+// classification). After that, every Run against the same trace is a
+// walk over O(phases + loops) flat slices of precomputed floats — no
+// per-op switch, no stride-factor derivation, no re-validation — and
+// is bit-identical to the interpreted engine, which survives as the
+// differential oracle (SetCompiled(false), pinned by the metamorphic
+// suite in internal/check).
+
+// loopTiming is one executable loop's configuration-dependent timing
+// invariant: everything phaseClocks derives per trip that does not
+// depend on the run's processor allocation.
+type loopTiming struct {
+	// cost is the per-trip resource usage (tripClocks of the body).
+	cost tripCost
+	// perCPUWords is the loop's uncontended memory-port demand in
+	// words per clock per CPU: cost.portWords over the uncontended
+	// trip time, zero when the trip is free.
+	perCPUWords float64
+	// memBound records cost.memBound() — whether memory is the
+	// binding resource of the trip.
+	memBound bool
+	// trips is the loop's trip count (always > 0; zero-trip loops are
+	// compiled out).
+	trips int64
+}
+
+// phaseTiming is one phase of a compiled program.
+type phaseTiming struct {
+	name         string
+	parallel     bool
+	barriers     int
+	serialClocks float64
+	flops        int64
+	words        int64
+	// loops spans the phase's loopTimings in compiledProgram.loops.
+	loops prog.Span
+}
+
+// compiledProgram is a program compiled against one machine
+// configuration: immutable after compile, shared by every concurrent
+// Run through the machine's compiled-trace cache.
+type compiledProgram struct {
+	name   string
+	flops  int64
+	words  int64
+	phases []phaseTiming
+	loops  []loopTiming
+	// capacity is the memory system's aggregate word rate, hoisted out
+	// of the per-loop contention test (it depends only on the bank
+	// geometry, which SetConfig rebuilds along with this cache).
+	capacity float64
+}
+
+// compile derives the machine-specific timing invariants from the
+// flattened trace. The result depends on the configuration only
+// through tripClocks and the loop-overhead constant, so SetConfig
+// must (and does) drop the compiled-trace cache.
+func (m *Machine) compile(c *prog.Compiled) *compiledProgram {
+	cp := &compiledProgram{
+		name:     c.Name,
+		flops:    c.Flops,
+		words:    c.Words,
+		phases:   make([]phaseTiming, len(c.Phases)),
+		loops:    make([]loopTiming, len(c.Loops)),
+		capacity: m.mem.CapacityWordsPerClock(),
+	}
+	for i := range c.Loops {
+		l := &c.Loops[i]
+		cost := m.tripClocks(c.Body(*l))
+		lt := loopTiming{
+			cost:     cost,
+			memBound: cost.memBound(),
+			trips:    l.Trips,
+		}
+		// Identical to the interpreted engine: demand is port words
+		// over the uncontended trip time, zero for a free trip.
+		if base := cost.clocks(m.cfg.LoopOverheadClocks, 1); base > 0 {
+			lt.perCPUWords = cost.portWords / base
+		}
+		cp.loops[i] = lt
+	}
+	for i := range c.Phases {
+		ph := &c.Phases[i]
+		cp.phases[i] = phaseTiming{
+			name:         ph.Name,
+			parallel:     ph.Parallel,
+			barriers:     ph.Barriers,
+			serialClocks: ph.SerialClocks,
+			flops:        ph.Flops,
+			words:        ph.Words,
+			loops:        ph.Loops,
+		}
+	}
+	return cp
+}
+
+// runCompiled evaluates a compiled program. The arithmetic mirrors
+// simulate/phaseClocks operation for operation, so results are
+// bit-identical to the interpreted path.
+func (m *Machine) runCompiled(cp *compiledProgram, opts RunOpts) Result {
+	procs := opts.Procs
+	if procs <= 0 {
+		procs = 1
+	}
+	if procs > m.cfg.CPUs {
+		procs = m.cfg.CPUs
+	}
+	active := opts.ActiveCPUs
+	if active < procs {
+		active = procs
+	}
+	if active > m.cfg.CPUs {
+		active = m.cfg.CPUs
+	}
+
+	res := Result{Program: cp.name, Procs: procs}
+	if len(cp.phases) > 0 {
+		res.Phases = make([]PhaseTime, len(cp.phases))
+	}
+	for i := range cp.phases {
+		// Timed in place: the phase record is built directly in the
+		// result slice, sparing a struct copy per phase.
+		pt := &res.Phases[i]
+		m.phaseClocksCompiled(pt, cp, &cp.phases[i], procs, active)
+		res.Clocks += pt.Clocks
+		res.Flops += pt.Flops
+		res.Words += pt.Words
+	}
+	res.Seconds = res.Clocks * m.cfg.ClockNS * 1e-9
+	return res
+}
+
+func (m *Machine) phaseClocksCompiled(pt *PhaseTime, cp *compiledProgram, ph *phaseTiming, procs, active int) {
+	*pt = PhaseTime{Name: ph.name, Flops: ph.flops, Words: ph.words, Serial: !ph.parallel}
+	execProcs := 1
+	execActive := active
+	if ph.parallel {
+		execProcs = procs
+	} else if execActive < 1 {
+		execActive = 1
+	}
+
+	for li := ph.loops.Lo; li < ph.loops.Hi; li++ {
+		lt := &cp.loops[li]
+		streams := execProcs
+		if execActive > streams {
+			streams = execActive
+		}
+		demand := lt.perCPUWords * float64(streams)
+		factor := m.mem.ContentionFactor(demand, cp.capacity)
+		trip := lt.cost.clocks(m.cfg.LoopOverheadClocks, factor)
+		if other := execActive - procs; other > 0 && m.cfg.CPUs > 1 {
+			trip *= 1 + m.cfg.InterferenceFrac*float64(other)/float64(m.cfg.CPUs-1)
+		}
+		if lt.memBound {
+			pt.MemBound = true
+		}
+		trips := lt.trips
+		if ph.parallel && execProcs > 1 {
+			trips = (lt.trips + int64(execProcs) - 1) / int64(execProcs)
+		}
+		pt.Clocks += float64(trips) * trip
+	}
+	if ph.barriers > 0 && procs > 1 {
+		pt.Clocks += float64(ph.barriers) *
+			(m.cfg.BarrierBaseClocks + m.cfg.BarrierPerCPUClocks*float64(procs))
+	}
+	pt.Clocks += ph.serialClocks
+}
+
+// RunCompiled is Run for a pre-flattened trace: the sweep-loop fast
+// path. The Compiled form carries its fingerprint, so a run costs no
+// per-op hashing at all — Run spends most of a memo-cold call
+// re-hashing the trace structure for the cache key; RunCompiled reads
+// c.Fingerprint instead. Results are bit-identical to Run on the
+// source program (same memo key, same arithmetic), so the two entry
+// points share one memo transparently.
+func (m *Machine) RunCompiled(c *prog.Compiled, opts RunOpts) Result {
+	var k target.MemoKey
+	if m.cache != nil {
+		k = target.MemoKey{Config: m.fingerprint, Program: c.Fingerprint, Opts: opts}
+		if r, ok := m.cache.Lookup(k); ok {
+			return r
+		}
+	}
+	var r Result
+	if m.progs != nil {
+		cp := m.progs.LoadOrStore(c.Fingerprint, func() *compiledProgram { return m.compile(c) })
+		r = m.runCompiled(cp, opts)
+	} else {
+		// Compiled path disabled: still honor the pre-flattened trace
+		// (deriving the timing invariants per call, like simulate
+		// derives per-loop costs per call) — the ablation stays
+		// bit-identical without re-validating the source program.
+		r = m.runCompiled(m.compile(c), opts)
+	}
+	if m.cache != nil {
+		m.cache.Store(k, r)
+	}
+	return r
+}
+
+// SetCompiled enables or disables the compiled-trace execution path
+// (enabled by default). Disabling drops the compiled-trace cache and
+// routes every memo miss through the interpreted engine — the
+// ablation knob the differential tests and the cold-sweep baseline
+// benchmark use; reported numbers are bit-identical either way.
+//
+// Like SetCache and SetConfig, SetCompiled must not race with
+// concurrent Run calls: configure first, then share.
+func (m *Machine) SetCompiled(enabled bool) {
+	if enabled {
+		if m.progs == nil {
+			m.progs = &target.FPCache[*compiledProgram]{}
+		}
+		return
+	}
+	m.progs = nil
+}
+
+// CompiledTraces returns the number of traces currently held in the
+// machine's compiled-trace cache (zero when the compiled path is
+// disabled).
+func (m *Machine) CompiledTraces() int {
+	if m.progs == nil {
+		return 0
+	}
+	return m.progs.Len()
+}

@@ -55,6 +55,10 @@ type Machine struct {
 
 	fingerprint uint64       // configFingerprint(cfg), cache key part
 	cache       *target.Memo // memoized trace timings; nil disables
+	// progs caches compiled trace timings (see compiled.go) keyed by
+	// program fingerprint; nil routes runs through the interpreted
+	// engine.
+	progs *target.FPCache[*compiledProgram]
 }
 
 // Machine implements target.Target.
@@ -67,6 +71,7 @@ func New(cfg Config) *Machine {
 		panic(err)
 	}
 	m.cache = target.NewMemo()
+	m.progs = &target.FPCache[*compiledProgram]{}
 	return m
 }
 
@@ -247,15 +252,41 @@ func (c tripCost) memBound() bool {
 }
 
 // Run simulates the program on the machine. Identical (program, opts)
-// pairs are served from the timing memo after the first evaluation.
+// pairs are served from the timing memo after the first evaluation;
+// memo misses execute the compiled trace (flattened once per program
+// fingerprint, see compiled.go) unless the compiled path is disabled,
+// in which case the interpreted engine below runs. All three routes
+// are bit-identical.
 func (m *Machine) Run(p prog.Program, opts RunOpts) Result {
-	if r, ok := m.runCached(p, opts); ok {
-		return r
+	if m.cache == nil && m.progs == nil {
+		return m.simulate(p, opts)
 	}
-	return m.simulate(p, opts)
+	fp := p.Fingerprint()
+	var k target.MemoKey
+	if m.cache != nil {
+		k = target.MemoKey{Config: m.fingerprint, Program: fp, Opts: opts}
+		if r, ok := m.cache.Lookup(k); ok {
+			return r
+		}
+	}
+	var r Result
+	if m.progs != nil {
+		cp := m.progs.LoadOrStore(fp, func() *compiledProgram {
+			return m.compile(prog.MustCompile(p))
+		})
+		r = m.runCompiled(cp, opts)
+	} else {
+		r = m.simulate(p, opts)
+	}
+	if m.cache != nil {
+		m.cache.Store(k, r)
+	}
+	return r
 }
 
-// simulate evaluates the machine model without consulting the memo.
+// simulate evaluates the machine model by interpreting the trace,
+// consulting neither the memo nor the compiled-trace cache: the
+// differential oracle the compiled path is checked against.
 func (m *Machine) simulate(p prog.Program, opts RunOpts) Result {
 	if err := p.Validate(); err != nil {
 		panic(err)
@@ -276,6 +307,9 @@ func (m *Machine) simulate(p prog.Program, opts RunOpts) Result {
 	}
 
 	res := Result{Program: p.Name, Procs: procs}
+	if len(p.Phases) > 0 {
+		res.Phases = make([]PhaseTime, 0, len(p.Phases))
+	}
 	for _, ph := range p.Phases {
 		pt := m.phaseClocks(ph, procs, active)
 		res.Clocks += pt.Clocks

@@ -1,0 +1,142 @@
+package prog
+
+// Compiled is the flattened, phase-indexed form of a Program: every
+// phase, loop and op of the trace laid out in three contiguous arrays,
+// with the aggregate counts (flops, words) and the structure-covering
+// fingerprint computed once at compile time. A machine model walking a
+// Compiled trace touches O(phases + loops) flat slice elements instead
+// of re-deriving per-op state on every Run, and never re-validates or
+// re-fingerprints the program.
+//
+// Compilation is purely structural — nothing machine-specific enters —
+// so one Compiled is valid for every target. The concrete machines
+// layer their configuration-dependent per-loop timing invariants on
+// top (see the compiled-timing caches in internal/sx4 and
+// internal/machine), keyed by the fingerprint recorded here.
+//
+// A Compiled is immutable after Compile returns and safe to share
+// across goroutines.
+type Compiled struct {
+	// Name is the source program's name.
+	Name string
+	// Fingerprint is the source program's structure hash
+	// (Program.Fingerprint), computed once.
+	Fingerprint uint64
+	// Phases, Loops and Ops are the flattened trace: each phase spans a
+	// contiguous range of Loops, each loop a contiguous range of Ops.
+	Phases []CompiledPhase
+	Loops  []CompiledLoop
+	Ops    []Op
+	// Flops and Words are the program totals (Program.Flops/Words).
+	Flops int64
+	Words int64
+}
+
+// Span is a half-open index range [Lo, Hi) into one of the flat arrays.
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of indices the span covers.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// CompiledPhase is one phase of a compiled trace.
+type CompiledPhase struct {
+	Name         string
+	Parallel     bool
+	Barriers     int
+	SerialClocks float64
+	// Flops and Words are the phase totals over every loop, including
+	// zero-trip loops (which contribute zero), exactly as the
+	// interpreted engine accumulates them.
+	Flops int64
+	Words int64
+	// Loops indexes the phase's loops in Compiled.Loops. Zero-trip
+	// loops are compiled out: their cost and totals are identically
+	// zero, so the executed loop set carries Trips > 0 only.
+	Loops Span
+}
+
+// CompiledLoop is one executable (Trips > 0) loop of a compiled trace.
+type CompiledLoop struct {
+	Trips int64
+	// Flops and Words are the loop totals across all trips.
+	Flops int64
+	Words int64
+	// Ops indexes the loop body in Compiled.Ops.
+	Ops Span
+}
+
+// Body returns the loop's op slice.
+func (c *Compiled) Body(l CompiledLoop) []Op { return c.Ops[l.Ops.Lo:l.Ops.Hi] }
+
+// PhaseLoops returns the phase's executable loops.
+func (c *Compiled) PhaseLoops(ph CompiledPhase) []CompiledLoop {
+	return c.Loops[ph.Loops.Lo:ph.Loops.Hi]
+}
+
+// Compile flattens the program into its phase-indexed form. The
+// program is validated first; an invalid program returns the
+// Validate error and a nil Compiled.
+func Compile(p Program) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		Name:        p.Name,
+		Fingerprint: p.Fingerprint(),
+		Phases:      make([]CompiledPhase, 0, len(p.Phases)),
+	}
+	// Size the flat arrays exactly so compilation allocates once per
+	// array and the spans index preallocated backing storage.
+	var nLoops, nOps int
+	for _, ph := range p.Phases {
+		for _, l := range ph.Loops {
+			if l.Trips > 0 {
+				nLoops++
+				nOps += len(l.Body)
+			}
+		}
+	}
+	c.Loops = make([]CompiledLoop, 0, nLoops)
+	c.Ops = make([]Op, 0, nOps)
+
+	for _, ph := range p.Phases {
+		cp := CompiledPhase{
+			Name:         ph.Name,
+			Parallel:     ph.Parallel,
+			Barriers:     ph.Barriers,
+			SerialClocks: ph.SerialClocks,
+			Loops:        Span{Lo: len(c.Loops)},
+		}
+		for _, l := range ph.Loops {
+			cp.Flops += l.Flops()
+			cp.Words += l.Words()
+			if l.Trips <= 0 {
+				continue
+			}
+			cl := CompiledLoop{
+				Trips: l.Trips,
+				Flops: l.Flops(),
+				Words: l.Words(),
+				Ops:   Span{Lo: len(c.Ops)},
+			}
+			c.Ops = append(c.Ops, l.Body...)
+			cl.Ops.Hi = len(c.Ops)
+			c.Loops = append(c.Loops, cl)
+		}
+		cp.Loops.Hi = len(c.Loops)
+		c.Phases = append(c.Phases, cp)
+		c.Flops += cp.Flops
+		c.Words += cp.Words
+	}
+	return c, nil
+}
+
+// MustCompile is Compile for programs known to be valid; it panics on
+// error, mirroring the interpreted engine's panic on an invalid trace.
+func MustCompile(p Program) *Compiled {
+	c, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,145 @@
+package prog
+
+import (
+	"reflect"
+	"testing"
+)
+
+func compileFixture() Program {
+	return Program{
+		Name: "fixture",
+		Phases: []Phase{
+			{
+				Name:     "serial-setup",
+				Parallel: false,
+				Loops: []Loop{{Trips: 10, Body: []Op{
+					{Class: Scalar, Count: 50},
+				}}},
+				SerialClocks: 1234,
+			},
+			{
+				Name:     "zero-trip",
+				Parallel: true,
+				Loops:    []Loop{{Trips: 0, Body: []Op{{Class: VAdd, VL: 64}}}},
+			},
+			{
+				Name:     "compute",
+				Parallel: true,
+				Loops: []Loop{
+					{Trips: 64, Body: []Op{
+						{Class: VLoad, VL: 256, Stride: 1},
+						{Class: VMul, VL: 256, FlopsPerElem: 2},
+						{Class: VStore, VL: 256, Stride: 2},
+					}},
+					{Trips: 8, Body: []Op{
+						{Class: VGather, VL: 100, Span: 512},
+						{Class: VIntrinsic, VL: 100, Intr: Exp},
+					}},
+				},
+				Barriers: 1,
+			},
+		},
+	}
+}
+
+func TestCompileStructure(t *testing.T) {
+	p := compileFixture()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != p.Name {
+		t.Errorf("Name = %q, want %q", c.Name, p.Name)
+	}
+	if c.Fingerprint != p.Fingerprint() {
+		t.Errorf("Fingerprint = %#x, want %#x", c.Fingerprint, p.Fingerprint())
+	}
+	if c.Flops != p.Flops() || c.Words != p.Words() {
+		t.Errorf("totals = (%d flops, %d words), want (%d, %d)",
+			c.Flops, c.Words, p.Flops(), p.Words())
+	}
+	if got, want := len(c.Phases), len(p.Phases); got != want {
+		t.Fatalf("len(Phases) = %d, want %d", got, want)
+	}
+	// Zero-trip loops are compiled out of the executable loop set but
+	// still counted in the phase totals.
+	if got := c.Phases[1].Loops.Len(); got != 0 {
+		t.Errorf("zero-trip phase compiled %d loops, want 0", got)
+	}
+	if got, want := len(c.Loops), 3; got != want {
+		t.Errorf("len(Loops) = %d, want %d", got, want)
+	}
+	for i, ph := range c.Phases {
+		src := p.Phases[i]
+		if ph.Name != src.Name || ph.Parallel != src.Parallel ||
+			ph.Barriers != src.Barriers || ph.SerialClocks != src.SerialClocks {
+			t.Errorf("phase %d fields differ: %+v vs source %+v", i, ph, src)
+		}
+		if ph.Flops != src.Flops() {
+			t.Errorf("phase %d Flops = %d, want %d", i, ph.Flops, src.Flops())
+		}
+		var words int64
+		for _, l := range src.Loops {
+			words += l.Words()
+		}
+		if ph.Words != words {
+			t.Errorf("phase %d Words = %d, want %d", i, ph.Words, words)
+		}
+	}
+	// Bodies round-trip through the flat op array.
+	compute := c.Phases[2]
+	loops := c.PhaseLoops(compute)
+	if len(loops) != 2 {
+		t.Fatalf("compute phase has %d loops, want 2", len(loops))
+	}
+	if !reflect.DeepEqual(c.Body(loops[0]), p.Phases[2].Loops[0].Body) {
+		t.Errorf("loop 0 body differs: %v", c.Body(loops[0]))
+	}
+	if !reflect.DeepEqual(c.Body(loops[1]), p.Phases[2].Loops[1].Body) {
+		t.Errorf("loop 1 body differs: %v", c.Body(loops[1]))
+	}
+	for _, l := range loops {
+		if l.Trips <= 0 {
+			t.Errorf("compiled loop with Trips = %d", l.Trips)
+		}
+	}
+}
+
+func TestCompileInvalid(t *testing.T) {
+	bad := Simple("bad", 10, Op{Class: VAdd, VL: 0})
+	if _, err := Compile(bad); err == nil {
+		t.Error("Compile accepted an invalid program")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on an invalid program")
+		}
+	}()
+	MustCompile(bad)
+}
+
+func TestCompileEmpty(t *testing.T) {
+	c, err := Compile(Program{Name: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Phases) != 0 || len(c.Loops) != 0 || len(c.Ops) != 0 {
+		t.Errorf("empty program compiled to %d/%d/%d phases/loops/ops",
+			len(c.Phases), len(c.Loops), len(c.Ops))
+	}
+	if c.Flops != 0 || c.Words != 0 {
+		t.Errorf("empty program totals: %d flops, %d words", c.Flops, c.Words)
+	}
+}
+
+// TestCompileSharesNoState: compiling twice yields independent values
+// that agree field for field (the compiled form is a pure function of
+// the program).
+func TestCompileDeterministic(t *testing.T) {
+	p := compileFixture()
+	a := MustCompile(p)
+	b := MustCompile(p.Clone())
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Compile is not deterministic across a program clone")
+	}
+}

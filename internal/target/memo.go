@@ -17,6 +17,14 @@ import (
 // change any reported number. The key carries the target's config
 // fingerprint, so warm-cache results stay byte-identical across
 // backends and reconfigurations.
+//
+// The memo is sharded: keys hash onto a power-of-two array of
+// independently locked maps, so memo-cold sweeps running under the
+// parallel experiment engine contend per shard, not on one global
+// mutex. Invalidation is generation-stamped: DropStale bumps a
+// generation counter in O(1) instead of sweeping the whole map under a
+// write lock, and superseded entries are reclaimed lazily, one shard
+// at a time, on the next write to each shard.
 
 // MemoKey identifies one memoizable evaluation.
 type MemoKey struct {
@@ -28,13 +36,43 @@ type MemoKey struct {
 	Opts    RunOpts
 }
 
+// memoShards is the shard count: a power of two so the key hash maps
+// onto a shard with a mask. 64 shards keep worst-case contention low
+// even at high worker counts while costing only a few kilobytes of
+// fixed overhead per memo.
+const memoShards = 64
+
+// hash mixes the key's fields into a shard selector with the
+// SplitMix64 finalizer, so near-identical keys (same config, adjacent
+// opts) still spread across shards.
+func (k MemoKey) hash() uint64 {
+	x := k.Config ^ k.Program<<1 ^
+		uint64(k.Opts.Procs)<<32 ^ uint64(k.Opts.ActiveCPUs)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // CacheStats reports timing-memo effectiveness counters.
 type CacheStats struct {
 	Hits, Misses uint64
-	// Entries is the number of memoized results currently held. Every
-	// held entry is keyed on the machine's current config fingerprint:
-	// reconfiguration sweeps out entries keyed on a stale one.
+	// Entries is the number of live memoized results currently held.
+	// Every live entry is keyed on the machine's current config
+	// fingerprint: reconfiguration invalidates entries keyed on a
+	// stale one.
 	Entries int
+	// Shards is the number of independently locked segments the memo
+	// spreads its entries over; MaxShardEntries is the occupancy of
+	// the fullest shard (a balance indicator: with a healthy hash it
+	// stays near Entries/Shards).
+	Shards          int
+	MaxShardEntries int
+	// Generation counts DropStale invalidations over the memo's
+	// lifetime; GenerationDrops is the number of superseded entries
+	// reclaimed by the lazy per-shard sweeps so far.
+	Generation      uint64
+	GenerationDrops uint64
 }
 
 // HitRate returns the fraction of lookups served from the cache.
@@ -50,60 +88,137 @@ func (s CacheStats) String() string {
 		s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
 }
 
+// memoEntry is one stored result, stamped with the generation it was
+// stored under.
+type memoEntry struct {
+	gen uint64
+	res Result
+}
+
+// memoShard is one independently locked segment of the memo. swept
+// records the generation the shard was last reconciled to; a shard
+// whose swept lags the memo's generation may still hold superseded
+// entries, which the next Store reclaims.
+type memoShard struct {
+	mu    sync.RWMutex
+	m     map[MemoKey]memoEntry
+	swept uint64
+}
+
 // Memo is a concurrency-safe memo of simulated results, shared by the
 // SX-4 engine and the comparison-machine models.
 type Memo struct {
-	mu     sync.RWMutex
-	m      map[MemoKey]Result
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// gen is the current generation; keep is the config fingerprint
+	// that survived the most recent DropStale. An entry is live when
+	// it was stored in the current generation or its key carries the
+	// surviving fingerprint — staler entries are invisible to Lookup
+	// and reclaimed lazily.
+	gen   atomic.Uint64
+	keep  atomic.Uint64
+	drops atomic.Uint64
+	shard [memoShards]memoShard
 }
 
 // NewMemo returns an empty memo.
 func NewMemo() *Memo {
-	return &Memo{m: make(map[MemoKey]Result)}
+	return &Memo{}
+}
+
+// live reports whether an entry stored under gen with key k is
+// servable at the current generation. Serving any stored entry is
+// always *correct* — the key covers everything a simulation depends
+// on — so liveness only governs reclamation and the Entries count.
+func (c *Memo) live(k MemoKey, gen uint64) bool {
+	return gen == c.gen.Load() || k.Config == c.keep.Load()
 }
 
 // Lookup returns the memoized result for k, counting a hit or miss.
 // The returned Result is a deep copy; callers may alias it freely.
 func (c *Memo) Lookup(k MemoKey) (Result, bool) {
-	c.mu.RLock()
-	r, ok := c.m[k]
-	c.mu.RUnlock()
-	if ok {
+	s := &c.shard[k.hash()&(memoShards-1)]
+	s.mu.RLock()
+	e, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok && c.live(k, e.gen) {
 		c.hits.Add(1)
-		return r.Clone(), true
+		return e.res.Clone(), true
 	}
 	c.misses.Add(1)
 	return Result{}, false
 }
 
-// Store memoizes a result under k (deep-copied on the way in).
+// Store memoizes a result under k (deep-copied on the way in). If the
+// shard has not caught up with a generation bump, its superseded
+// entries are reclaimed first, so stale results never accumulate
+// beyond one write per shard.
 func (c *Memo) Store(k MemoKey, r Result) {
-	c.mu.Lock()
-	c.m[k] = r.Clone()
-	c.mu.Unlock()
+	s := &c.shard[k.hash()&(memoShards-1)]
+	gen := c.gen.Load()
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[MemoKey]memoEntry)
+	}
+	if s.swept != gen {
+		c.sweepLocked(s, gen)
+	}
+	s.m[k] = memoEntry{gen: gen, res: r.Clone()}
+	s.mu.Unlock()
 }
 
-// Stats returns the memo's counters.
-func (c *Memo) Stats() CacheStats {
-	c.mu.RLock()
-	n := len(c.m)
-	c.mu.RUnlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
-}
-
-// DropStale deletes every memoized entry whose key carries a config
-// fingerprint other than current. Such entries can never be looked up
-// again (the current fingerprint is part of every future key), so after
-// a reconfiguration they are pure dead weight — and, worse, a coherence
-// hazard should the fingerprint field ever go stale alongside them.
-func (c *Memo) DropStale(current uint64) {
-	c.mu.Lock()
-	for k := range c.m {
-		if k.Config != current {
-			delete(c.m, k)
+// sweepLocked reclaims the shard's dead entries and marks it
+// reconciled to gen. Callers hold the shard's write lock.
+func (c *Memo) sweepLocked(s *memoShard, gen uint64) {
+	keep := c.keep.Load()
+	for k, e := range s.m {
+		if e.gen != gen && k.Config != keep {
+			delete(s.m, k)
+			c.drops.Add(1)
 		}
 	}
-	c.mu.Unlock()
+	s.swept = gen
+}
+
+// Stats returns the memo's counters, including shard occupancy and
+// generation-drop totals. Entries counts live entries only.
+func (c *Memo) Stats() CacheStats {
+	st := CacheStats{
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Shards:          memoShards,
+		Generation:      c.gen.Load(),
+		GenerationDrops: c.drops.Load(),
+	}
+	for i := range c.shard {
+		s := &c.shard[i]
+		s.mu.RLock()
+		n := 0
+		for k, e := range s.m {
+			if c.live(k, e.gen) {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+		st.Entries += n
+		if n > st.MaxShardEntries {
+			st.MaxShardEntries = n
+		}
+	}
+	return st
+}
+
+// DropStale invalidates every memoized entry whose key carries a
+// config fingerprint other than current. Such entries can never be
+// looked up again (the current fingerprint is part of every future
+// key), so after a reconfiguration they are pure dead weight — and,
+// worse, a coherence hazard should the fingerprint field ever go stale
+// alongside them. The invalidation is O(1): the generation counter is
+// bumped and entries keyed on current are kept live, while superseded
+// entries become invisible immediately and are reclaimed shard by
+// shard on subsequent writes. Concurrent readers are never stalled
+// behind a full-map sweep.
+func (c *Memo) DropStale(current uint64) {
+	c.keep.Store(current)
+	c.gen.Add(1)
 }

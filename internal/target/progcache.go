@@ -1,0 +1,90 @@
+package target
+
+import "sync"
+
+// FPCache is a sharded concurrent cache keyed by 64-bit fingerprint,
+// the container the machine models use for compiled-trace timing
+// artifacts: values are computed once per (configuration, program)
+// and re-read on every subsequent Run, so reads vastly outnumber
+// writes and must not contend across worker goroutines.
+//
+// The zero value is ready to use. Values must be immutable once
+// stored (the cache hands back the stored value itself, never a
+// copy); the maker passed to LoadOrStore must be a pure function of
+// the fingerprint, since concurrent first loads may each invoke it
+// and any one result may win.
+type FPCache[V any] struct {
+	shard [fpShards]fpShard[V]
+}
+
+const fpShards = 64 // power of two, masked below
+
+type fpShard[V any] struct {
+	mu sync.RWMutex
+	m  map[uint64]V
+}
+
+// fpShardOf mixes the fingerprint before masking so that structured
+// fingerprints still spread over the shard array.
+func fpShardOf(fp uint64) uint64 {
+	fp ^= fp >> 33
+	fp *= 0xff51afd7ed558ccd
+	fp ^= fp >> 33
+	return fp & (fpShards - 1)
+}
+
+// Load returns the cached value for fp.
+func (c *FPCache[V]) Load(fp uint64) (V, bool) {
+	s := &c.shard[fpShardOf(fp)]
+	s.mu.RLock()
+	v, ok := s.m[fp]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// LoadOrStore returns the cached value for fp, invoking mk and
+// caching its result on the first load. mk runs outside the shard
+// lock, so a slow compile never blocks readers of other entries in
+// the same shard; when two goroutines race on the same cold
+// fingerprint, the first store wins and both observe it.
+func (c *FPCache[V]) LoadOrStore(fp uint64, mk func() V) V {
+	if v, ok := c.Load(fp); ok {
+		return v
+	}
+	v := mk()
+	s := &c.shard[fpShardOf(fp)]
+	s.mu.Lock()
+	if prev, ok := s.m[fp]; ok {
+		s.mu.Unlock()
+		return prev
+	}
+	if s.m == nil {
+		s.m = make(map[uint64]V)
+	}
+	s.m[fp] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Len returns the number of cached values.
+func (c *FPCache[V]) Len() int {
+	n := 0
+	for i := range c.shard {
+		s := &c.shard[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Clear drops every cached value (the reconfiguration path: compiled
+// timings are configuration-dependent and must not survive SetConfig).
+func (c *FPCache[V]) Clear() {
+	for i := range c.shard {
+		s := &c.shard[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}

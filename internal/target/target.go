@@ -160,3 +160,31 @@ type Target interface {
 	// original (Conformance pins this).
 	Clone() Target
 }
+
+// CacheStatser is the optional interface of targets that expose their
+// timing-memo counters (shard occupancy, generation drops); the CLIs'
+// -cachestats output uses it.
+type CacheStatser interface {
+	CacheStats() CacheStats
+}
+
+// CompiledRunner is the optional interface of targets that execute
+// pre-flattened traces directly. A memo-cold Run spends most of its
+// time re-hashing the trace structure for the cache key; RunCompiled
+// reads the fingerprint the compiler stamped on the IR instead, so a
+// sweep that compiles each distinct trace once pays the per-op walk
+// once too. Results must be bit-identical to Run on the source
+// program — the two entry points share one timing memo.
+type CompiledRunner interface {
+	RunCompiled(c *prog.Compiled, opts RunOpts) Result
+}
+
+// CompiledSwitcher is the optional interface of targets whose
+// compiled-trace execution path can be toggled. Disabling routes runs
+// through the interpreted engine; reported numbers are bit-identical
+// either way (the differential tests pin this), so the switch is
+// purely an ablation knob — the cold-sweep baseline benchmark uses it
+// to measure what compilation buys.
+type CompiledSwitcher interface {
+	SetCompiled(enabled bool)
+}
