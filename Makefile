@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short ci smoke faults examples figures report clean goldens goldens-check fuzz-smoke cover
+.PHONY: all build vet lint test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short ci smoke serve-smoke faults examples figures report clean goldens goldens-check fuzz-smoke cover
 
 all: build vet lint test
 
@@ -45,8 +45,9 @@ bench:
 # and govulncheck when installed — CI installs them, local runs skip
 # them gracefully), sx4lint, build, the full test suite under the race
 # detector, the golden-artifact check, the cross-machine smoke sweep,
-# the resilience smoke, and the cold-sweep smoke (compiled vs
-# interpreted checksums over 1k memo-cold scenarios).
+# the resilience smoke, the cold-sweep smoke (compiled vs interpreted
+# checksums over 1k memo-cold scenarios), and the sx4d daemon smoke
+# (live /healthz and golden-pinned /v1/run over real HTTP).
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -60,11 +61,21 @@ ci:
 	$(GO) run ./cmd/ncarbench -machine all -short
 	$(MAKE) faults
 	$(MAKE) bench-sweep-short
+	$(MAKE) serve-smoke
 
 # Cross-machine smoke: one line of scalar anchors per registered
 # machine, exercising the Target registry end to end.
 smoke:
 	$(GO) run ./cmd/ncarbench -machine all -short
+
+# Daemon smoke: boot sx4d on an ephemeral port, probe /healthz, and
+# diff a live /v1/run response against the committed golden — the
+# serve artifact verified over real HTTP instead of in-process.
+bin/sx4d: go.mod $(wildcard cmd/sx4d/*.go) $(shell find internal -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
+	$(GO) build -o $@ ./cmd/sx4d
+
+serve-smoke: bin/sx4d
+	./scripts/serve_smoke.sh
 
 # Resilience smoke: the canonical fault schedule across sx4-1, sx4-32
 # and c90 — the resilience artifact must match its golden, no machine
@@ -91,6 +102,7 @@ fuzz-smoke:
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzProgramFingerprint$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzMachineRun$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzReportParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime $(FUZZTIME)
 
 # Aggregate statement coverage across all packages.
 cover:

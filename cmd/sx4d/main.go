@@ -1,0 +1,100 @@
+// Command sx4d serves the simulation models over HTTP: the NCAR suite
+// as a service. POST /v1/run answers one query (suite × machine ×
+// fault seed), POST /v1/sweep streams answers to NDJSON bulk
+// submissions, GET /v1/machines lists the registry, GET /v1/stats
+// reports the cache and coalescing counters, and GET /healthz is the
+// liveness probe. Identical queries are exact cache hits: every
+// response is a pure function of the request and the machine
+// configuration, content-addressed and served byte-identically on
+// repeat.
+//
+// Usage:
+//
+//	go run ./cmd/sx4d                          # listen on 127.0.0.1:8700
+//	go run ./cmd/sx4d -addr 127.0.0.1:0 -portfile /tmp/sx4d.port
+//	curl -s localhost:8700/healthz
+//	curl -s -d '{"machine":"sx4-32"}' localhost:8700/v1/run
+//
+// With -addr :0 the kernel picks a free port; -portfile publishes the
+// bound address for scripts (the serve-smoke harness uses this). The
+// daemon drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sx4bench/internal/serve"
+
+	_ "sx4bench" // link the models in; their inits register the machines
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8700", "listen address (host:port; port 0 picks a free port)")
+	portfile := flag.String("portfile", "", "write the bound address to this file once listening")
+	maxconcurrent := flag.Int("maxconcurrent", 0, "max simultaneous simulation executions (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-query wall-time bound (0 = none)")
+	maxbody := flag.Int64("maxbody", 0, "request body size cap in bytes (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "sx4d: unexpected arguments: %v\n", flag.Args())
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sx4d: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sx4d: %v\n", err)
+			ln.Close()
+			return 1
+		}
+	}
+	fmt.Printf("sx4d listening on %s\n", bound)
+
+	hs := &http.Server{Handler: serve.New(serve.Config{
+		MaxConcurrent:  *maxconcurrent,
+		MaxBodyBytes:   *maxbody,
+		RequestTimeout: *timeout,
+		Now:            time.Now,
+	})}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, let in-flight queries finish.
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "sx4d: shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Println("sx4d stopped")
+		return 0
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "sx4d: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

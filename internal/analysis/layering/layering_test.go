@@ -12,5 +12,6 @@ func TestLayering(t *testing.T) {
 		"sx4bench/internal/fakerunner",
 		"sx4bench/internal/fakesweep",
 		"sx4bench/internal/machine",
+		"sx4bench/internal/serve",
 	)
 }

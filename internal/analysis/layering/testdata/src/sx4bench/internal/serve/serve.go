@@ -1,0 +1,13 @@
+// Package serve is a layering fixture mirroring the sx4d daemon's
+// service layer: it sits above the model layer, so it must reach the
+// machines through the target registry and the ncar entry points —
+// never the concrete model packages.
+package serve
+
+import (
+	_ "sx4bench/internal/benchjson" // the wire vocabulary is a shared leaf
+	_ "sx4bench/internal/machine"   // want `import of sx4bench/internal/machine \(the concrete comparator models\) above the model layer`
+	_ "sx4bench/internal/ncar"      // the sanctioned runner entry points
+	_ "sx4bench/internal/sx4"       // want `import of sx4bench/internal/sx4 \(the concrete SX-4 model\) above the model layer`
+	_ "sx4bench/internal/target"    // the sanctioned dependency
+)

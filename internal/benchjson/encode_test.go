@@ -1,0 +1,170 @@
+package benchjson
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// genResult draws one encodable Result from a seeded source: names and
+// units from whitespace-free alphabets, finite values, B/op and
+// allocs/op inside float64's exact-integer range, and always either an
+// ns/op value or at least one metric.
+func genResult(rng *rand.Rand, i int) Result {
+	nameRunes := []rune("BenchmarkQC_abcXYZ0123456789/=-")
+	r := Result{Name: "Benchmark"}
+	for n := rng.Intn(12); n > 0; n-- {
+		r.Name += string(nameRunes[rng.Intn(len(nameRunes))])
+	}
+	r.Iterations = rng.Int63n(1 << 40)
+	nMetrics := rng.Intn(4)
+	if nMetrics == 0 || rng.Intn(2) == 0 {
+		// Values that exercise both compact and exponent renderings.
+		r.NsPerOp = genValue(rng, false)
+	}
+	if rng.Intn(2) == 0 {
+		v := rng.Int63n(maxExactInt)
+		r.BytesPerOp = &v
+	}
+	if rng.Intn(2) == 0 {
+		v := rng.Int63n(maxExactInt)
+		r.AllocsPerOp = &v
+	}
+	unitRunes := []rune("abcdefgMB/s%µ")
+	for n := 0; n < nMetrics; n++ {
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		unit := "u"
+		for k := 1 + rng.Intn(6); k > 0; k-- {
+			unit += string(unitRunes[rng.Intn(len(unitRunes))])
+		}
+		r.Metrics[unit] = genValue(rng, true)
+	}
+	return r
+}
+
+func genValue(rng *rand.Rand, zeroOK bool) float64 {
+	switch rng.Intn(5) {
+	case 0:
+		if zeroOK {
+			return 0
+		}
+		return 1
+	case 1:
+		return float64(rng.Int63n(1 << 50))
+	case 2:
+		return rng.Float64() * 1e-9
+	case 3:
+		return -rng.Float64() * 1e6
+	default:
+		return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(60)-30))
+	}
+}
+
+// TestEncodeLineRoundTrip is the quickcheck property behind the wire
+// format: for any encodable Result, ParseLine(EncodeLine(r)) == r.
+func TestEncodeLineRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1996))
+	for i := 0; i < 2000; i++ {
+		r := genResult(rng, i)
+		line, err := EncodeLine(r)
+		if err != nil {
+			t.Fatalf("case %d: EncodeLine(%+v): %v", i, r, err)
+		}
+		back, ok := ParseLine(line)
+		if !ok {
+			t.Fatalf("case %d: ParseLine rejected EncodeLine output %q", i, line)
+		}
+		if !reflect.DeepEqual(r, back) {
+			t.Fatalf("case %d: round trip diverged\n  in:   %+v\n  line: %q\n  out:  %+v", i, r, line, back)
+		}
+	}
+}
+
+// TestWriteParseRoundTrip pins the whole-Baseline direction: Write's
+// text must Parse back to an equal Baseline, headers and derived
+// speedup summaries included.
+func TestWriteParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		b := Baseline{GOOS: "linux", GOARCH: "amd64"}
+		if rng.Intn(2) == 0 {
+			b.CPU = "NEC SX-4/32 (modeled)"
+		}
+		for n := 1 + rng.Intn(6); n > 0; n-- {
+			b.Benchmarks = append(b.Benchmarks, genResult(rng, i))
+		}
+		if rng.Intn(3) == 0 {
+			// The speedup pair: Parse rederives the summary from these
+			// names, so Write must agree with it.
+			b.Benchmarks = append(b.Benchmarks,
+				Result{Name: "BenchmarkRunAllSerial-8", Iterations: 100, NsPerOp: 4000},
+				Result{Name: "BenchmarkRunAllParallel-8", Iterations: 100, NsPerOp: 1000})
+			b.RunAllSpeedup = 4
+		}
+		var sb strings.Builder
+		if err := Write(&sb, b); err != nil {
+			t.Fatalf("case %d: Write: %v", i, err)
+		}
+		back, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("case %d: Parse(Write output): %v\n%s", i, err, sb.String())
+		}
+		if !reflect.DeepEqual(b, back) {
+			t.Fatalf("case %d: baseline round trip diverged\n  in:  %+v\n  out: %+v\ntext:\n%s", i, b, back, sb.String())
+		}
+	}
+}
+
+// TestEncodeLineRejects covers the unencodable shapes: every rejection
+// is a Result that ParseLine could not faithfully decode.
+func TestEncodeLineRejects(t *testing.T) {
+	neg := int64(-5)
+	huge := maxExactInt + 1
+	cases := []struct {
+		name string
+		r    Result
+	}{
+		{"empty name", Result{Name: "", Iterations: 1, NsPerOp: 1}},
+		{"whitespace name", Result{Name: "Benchmark X", Iterations: 1, NsPerOp: 1}},
+		{"negative iterations", Result{Name: "B", Iterations: -1, NsPerOp: 1}},
+		{"contentless", Result{Name: "B", Iterations: 1}},
+		{"empty non-nil metrics", Result{Name: "B", Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{}}},
+		{"NaN ns/op", Result{Name: "B", Iterations: 1, NsPerOp: math.NaN()}},
+		{"Inf metric", Result{Name: "B", Iterations: 1, Metrics: map[string]float64{"x": math.Inf(1)}}},
+		{"empty unit", Result{Name: "B", Iterations: 1, Metrics: map[string]float64{"": 1}}},
+		{"whitespace unit", Result{Name: "B", Iterations: 1, Metrics: map[string]float64{"a b": 1}}},
+		{"reserved unit", Result{Name: "B", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}}},
+		{"huge B/op", Result{Name: "B", Iterations: 1, NsPerOp: 1, BytesPerOp: &huge}},
+		{"negative-huge allocs", Result{Name: "B", Iterations: 1, NsPerOp: 1, AllocsPerOp: &neg, BytesPerOp: &huge}},
+	}
+	for _, tc := range cases {
+		if line, err := EncodeLine(tc.r); err == nil {
+			t.Errorf("%s: EncodeLine accepted %+v as %q", tc.name, tc.r, line)
+		}
+	}
+}
+
+// TestWriteRejects covers the Baseline-level failures: records Parse
+// would filter out or summaries it would rederive differently.
+func TestWriteRejects(t *testing.T) {
+	ok := Result{Name: "BenchmarkOK", Iterations: 1, NsPerOp: 1}
+	cases := []struct {
+		name string
+		b    Baseline
+	}{
+		{"no records", Baseline{}},
+		{"unprefixed name", Baseline{Benchmarks: []Result{{Name: "Bogus", Iterations: 1, NsPerOp: 1}}}},
+		{"multiline header", Baseline{GOOS: "li\nnux", Benchmarks: []Result{ok}}},
+		{"stale speedup", Baseline{Benchmarks: []Result{ok}, RunAllSpeedup: 2}},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if err := Write(&sb, tc.b); err == nil {
+			t.Errorf("%s: Write accepted %+v", tc.name, tc.b)
+		}
+	}
+}

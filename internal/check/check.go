@@ -43,8 +43,10 @@ const DefaultDir = "internal/check/testdata/goldens"
 // render order: the seven paper tables, the four paper figures, the
 // scalar anchors (RADABS, POP, PRODLOAD), the I/O category, the
 // multinode and profile projections, the cross-machine suite sweep,
-// and the resilience sweep (degraded-mode rates and recovery
-// accounting under the canonical fault schedule). The identifiers are
+// the resilience sweep (degraded-mode rates and recovery accounting
+// under the canonical fault schedule), and the canonical sx4d /v1/run
+// response body (the daemon's content-addressed wire bytes for the
+// full suite on the flagship configuration). The identifiers are
 // the sx4bench.RunExperiment ids, so any golden can be reproduced by
 // hand with `go run ./cmd/figures -exp <id>`.
 //
@@ -58,6 +60,7 @@ func Artifacts() []string {
 		"fig5", "fig6", "fig7", "fig8",
 		"radabs", "pop", "prodload", "io",
 		"multinode", "profile", "crossmachine", "resilience",
+		"serve",
 	}
 }
 

@@ -73,9 +73,27 @@ type ResilientResult struct {
 // benchmark's own start (t = 0), so per-benchmark timelines are
 // independent and a multi-benchmark sweep stays deterministic.
 func RunResilient(w io.Writer, m target.Target, name string, cpus int, opts ResilientOpts) (ResilientResult, error) {
+	dm, res, err := runAttempts(m, name, cpus, opts)
+	if err != nil {
+		return res, err
+	}
+	if w != nil {
+		if err := RunBenchmark(w, dm, name, cpus); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// runAttempts drives the retry loop shared by RunResilient and
+// MeasureResilient: it returns the degraded machine of the attempt
+// that survived the schedule alongside the attempt accounting, leaving
+// what to do with that machine (render text, measure structurally) to
+// the caller.
+func runAttempts(m target.Target, name string, cpus int, opts ResilientOpts) (target.Target, ResilientResult, error) {
 	res := ResilientResult{Benchmark: name, Machine: m.Name()}
 	if _, err := ByName(name); err != nil {
-		return res, err
+		return nil, res, err
 	}
 	if cpus <= 0 {
 		cpus = m.Spec().CPUs
@@ -96,10 +114,10 @@ func RunResilient(w io.Writer, m target.Target, name string, cpus int, opts Resi
 		}
 		dm, err := target.Degrade(m, d)
 		if err != nil {
-			return res, fmt.Errorf("ncar: %s on %s at t=%s: %w",
+			return nil, res, fmt.Errorf("ncar: %s on %s at t=%s: %w",
 				name, m.Name(), secs(t), err)
 		}
-		dur := attemptSeconds(dm, name, cpus)
+		dur := AttemptSeconds(dm, name, cpus)
 		if abortAt, aborted := firstAbort(inj, t, t+dur); aborted {
 			// The fault checkpoints the attempt; retry after backoff.
 			t = abortAt + backoff
@@ -108,26 +126,21 @@ func RunResilient(w io.Writer, m target.Target, name string, cpus int, opts Resi
 				backoff = BackoffCapSeconds
 			}
 			if opts.DeadlineSeconds > 0 && t > opts.DeadlineSeconds {
-				return res, fmt.Errorf("ncar: %s on %s: aborted at t=%s, next attempt past deadline %s: %w",
+				return nil, res, fmt.Errorf("ncar: %s on %s: aborted at t=%s, next attempt past deadline %s: %w",
 					name, m.Name(), secs(abortAt), secs(opts.DeadlineSeconds), ErrDeadlineExceeded)
 			}
 			continue
 		}
 		t += dur
 		if opts.DeadlineSeconds > 0 && t > opts.DeadlineSeconds {
-			return res, fmt.Errorf("ncar: %s on %s: would finish at t=%s, deadline %s: %w",
+			return nil, res, fmt.Errorf("ncar: %s on %s: would finish at t=%s, deadline %s: %w",
 				name, m.Name(), secs(t), secs(opts.DeadlineSeconds), ErrDeadlineExceeded)
 		}
 		res.FinishedAt = t
 		res.Degraded = d
-		if w != nil {
-			if err := RunBenchmark(w, dm, name, cpus); err != nil {
-				return res, err
-			}
-		}
-		return res, nil
+		return dm, res, nil
 	}
-	return res, fmt.Errorf("ncar: %s on %s: %d attempts aborted by faults: %w",
+	return nil, res, fmt.Errorf("ncar: %s on %s: %d attempts aborted by faults: %w",
 		name, m.Name(), maxAttempts, ErrRetriesExhausted)
 }
 
@@ -147,11 +160,13 @@ func firstAbort(inj fault.Injector, from, to float64) (float64, bool) {
 	return 0, false
 }
 
-// attemptSeconds models one attempt's simulated duration: the model
+// AttemptSeconds models one attempt's simulated duration: the model
 // evaluation the benchmark performs, scaled by its repetition
 // convention. Correctness and I/O members run fixed nominal durations
-// (their cost does not depend on the compute model).
-func attemptSeconds(m target.Target, name string, cpus int) float64 {
+// (their cost does not depend on the compute model). This is the
+// number the resilient runner schedules with and the sx4d daemon
+// reports as each member's ns/op.
+func AttemptSeconds(m target.Target, name string, cpus int) float64 {
 	opts1 := target.RunOpts{Procs: 1}
 	switch name {
 	case "PARANOIA", "ELEFUNT":

@@ -108,7 +108,7 @@ func TestRunResilientMachineDown(t *testing.T) {
 
 func TestRunResilientDegradedAttempt(t *testing.T) {
 	m := machine.SX4Benchmarked()
-	healthyDur := attemptSeconds(m, "RADABS", 1)
+	healthyDur := AttemptSeconds(m, "RADABS", 1)
 	// Bank degradations before the attempt window: no abort, but the
 	// attempt runs on the degraded machine and takes longer. (Two
 	// halvings: one still leaves the SX-4 port wide enough for RADABS.)
@@ -134,7 +134,7 @@ func TestRunResilientDegradedAttempt(t *testing.T) {
 func TestAttemptSecondsCoversSuite(t *testing.T) {
 	m := machine.SX4Benchmarked()
 	for _, b := range Suite() {
-		if dur := attemptSeconds(m, b.Name, 1); dur <= 0 {
+		if dur := AttemptSeconds(m, b.Name, 1); dur <= 0 {
 			t.Errorf("%s: attempt duration %v, want positive", b.Name, dur)
 		}
 	}

@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent executions of the same
+// content-addressed query: while a leader is computing the response
+// for a fingerprint, followers arriving with the same fingerprint
+// block on the leader's completion and share its bytes instead of
+// re-simulating. Only in-flight work coalesces — completed calls are
+// forgotten immediately, because the response cache is the durable
+// layer and the flight group's only job is to close the window between
+// a miss and its store.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[uint64]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// do runs fn for the fingerprint unless an identical call is already
+// in flight, in which case it waits for that call and shares its
+// outcome. The second return reports whether this caller was a
+// follower (its work was coalesced into the leader's).
+func (g *flightGroup) do(fp uint64, fn func() ([]byte, error)) (body []byte, err error, coalesced bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[fp]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.body, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	if g.calls == nil {
+		g.calls = make(map[uint64]*flightCall)
+	}
+	g.calls[fp] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, fp)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, c.err, false
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzServeRequest fuzzes the request decoder — the daemon's only
+// parser of untrusted bytes. Properties pinned for every input: the
+// decoder never panics, decoding is deterministic, accepted requests
+// canonicalize idempotently to an explicit benchmark list with the
+// workers knob erased, the canonical fingerprint ignores the worker
+// count, and a canonical request survives a JSON re-encode round trip.
+func FuzzServeRequest(f *testing.F) {
+	seeds := []string{
+		`{"machine":"sx4-32"}`,
+		`{"machine":" SX4-1 ","benchmarks":["COPY","CCM2"],"cpus":4,"workers":2}`,
+		`{"machine":"ymp","benchmarks":["all"],"fault_seed":7,"deadline_seconds":900.5,"max_attempts":6}`,
+		`{"machine":"c90","benchmarks":[]}`,
+		`{"machine":"ymp","bogus":1}`,
+		`{"machine":"ymp"} {"machine":"c90"}`,
+		`{"machine":"ymp","deadline_seconds":-1}`,
+		`{"machine":"ymp","benchmarks":["FROBNICATE"]}`,
+		`{"machine":"éK"}`,
+		`[{"machine":"ymp"}]`,
+		`nullnull`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r1, err1 := DecodeRunRequest(data)
+		r2, err2 := DecodeRunRequest(data)
+		if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("decode is nondeterministic: (%+v, %v) vs (%+v, %v)", r1, err1, r2, err2)
+		}
+		if err1 != nil {
+			if !reflect.DeepEqual(r1, RunRequest{}) {
+				t.Fatalf("rejected input returned a partial request %+v", r1)
+			}
+			return
+		}
+		c := r1.Canonical()
+		if c.Workers != 0 {
+			t.Fatalf("canonical form kept workers=%d", c.Workers)
+		}
+		if len(c.Benchmarks) == 0 {
+			t.Fatal("canonical form must list benchmarks explicitly")
+		}
+		if cc := c.Canonical(); !reflect.DeepEqual(cc, c) {
+			t.Fatalf("canonicalization is not idempotent:\n%+v\n%+v", c, cc)
+		}
+		const probeFP = 0x5158344d4f44454c
+		fp := c.Fingerprint(probeFP)
+		reworked := r1
+		reworked.Workers = (r1.Workers + 1) % maxWorkers
+		if got := reworked.Canonical().Fingerprint(probeFP); got != fp {
+			t.Fatalf("fingerprint depends on workers: %x vs %x", got, fp)
+		}
+		// A canonical request is valid JSON-wire content in its own
+		// right: re-encoding and re-decoding must accept it unchanged.
+		wire, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("canonical request does not marshal: %v", err)
+		}
+		back, err := DecodeRunRequest(wire)
+		if err != nil {
+			t.Fatalf("canonical request rejected on re-decode: %v\n%s", err, wire)
+		}
+		if !reflect.DeepEqual(back.Canonical(), c) {
+			t.Fatalf("re-decoded canonical diverged:\n%+v\n%+v", back.Canonical(), c)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCoalescing is the contended-path conformance test,
+// meaningful under -race: many goroutines fire the same query (run and
+// sweep alike) alongside a few distinct ones, and the daemon must
+// answer every one byte-identically while executing far fewer
+// simulations than it answers queries — repeats either coalesce into
+// an in-flight execution or hit the cache, and /v1/stats exposes the
+// split.
+func TestConcurrentCoalescing(t *testing.T) {
+	srv := New(Config{Now: fakeClock(), MaxConcurrent: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const identical = `{"machine":"sparc20","benchmarks":["COPY","IA"]}`
+	distinct := []string{
+		`{"machine":"sparc20","benchmarks":["XPOSE"]}`,
+		`{"machine":"rs6000","benchmarks":["COPY"]}`,
+		`{"machine":"ymp","benchmarks":["RFFT"]}`,
+	}
+	sweepBody := identical + "\n" + distinct[0] + "\n" + identical + "\n"
+
+	const runners, sweepers = 24, 8
+	bodies := make([][]byte, runners)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+	for i := 0; i < runners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			q := identical
+			if i < len(distinct) {
+				q = distinct[i]
+			}
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(q))
+			if err != nil {
+				fail("run %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fail("run %d: status %d err %v", i, resp.StatusCode, err)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	for i := 0; i < sweepers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/x-ndjson", strings.NewReader(sweepBody))
+			if err != nil {
+				fail("sweep %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fail("sweep %d: status %d err %v", i, resp.StatusCode, err)
+				return
+			}
+			lines := bytes.Split(bytes.TrimRight(body, "\n"), []byte("\n"))
+			if len(lines) != 3 {
+				fail("sweep %d: %d lines, want 3", i, len(lines))
+				return
+			}
+			if !bytes.Equal(lines[0], lines[2]) {
+				fail("sweep %d: duplicate lines differ", i)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every answer to the identical query must be the same bytes.
+	var want []byte
+	for i := len(distinct); i < runners; i++ {
+		if want == nil {
+			want = bodies[i]
+			continue
+		}
+		if !bytes.Equal(want, bodies[i]) {
+			t.Fatalf("identical queries returned divergent bodies")
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	queries := uint64(runners + 3*sweepers)
+	if st.RunQueries != queries {
+		t.Fatalf("run_queries = %d, want %d", st.RunQueries, queries)
+	}
+	if st.CacheHits+st.Coalesced+st.RunsExecuted != queries {
+		t.Fatalf("classification leaks: %d hits + %d coalesced + %d executed != %d queries",
+			st.CacheHits, st.Coalesced, st.RunsExecuted, queries)
+	}
+	// Only 4 fingerprints exist (identical + 3 distinct); everything
+	// else must have been served without a fresh simulation. Racing
+	// leaders can double-execute a fingerprint in a narrow window, so
+	// the bound is generous — but far below the query count.
+	if st.RunsExecuted >= queries/2 {
+		t.Fatalf("runs_executed = %d of %d queries: coalescing/caching not working", st.RunsExecuted, queries)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", st.Errors)
+	}
+}

@@ -1,0 +1,457 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON
+// daemon that answers NCAR-suite queries (suite × machine × fault
+// seed) from the deterministic models below it. Because every result
+// is a pure function of (machine configuration, benchmark list, cpus,
+// fault schedule), responses are content-addressed: the daemon caches
+// the exact response bytes under a fingerprint of the canonical query
+// and the target configuration, coalesces identical in-flight queries
+// into one execution, and serves repeats byte-identically forever.
+// Cache state travels in the X-Sx4d-Cache header — never the body —
+// so hits, coalesced answers and fresh executions are
+// indistinguishable on the wire.
+//
+// The package speaks to the machines only through the target registry
+// and the ncar measurement entry points; it never imports a concrete
+// machine package (the layering analyzer pins this).
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"sx4bench/internal/benchjson"
+	"sx4bench/internal/fault"
+	"sx4bench/internal/ncar"
+	"sx4bench/internal/target"
+)
+
+// Config carries the daemon's operating limits. The zero value is
+// usable: sensible bounds, no request deadline, and a frozen clock.
+type Config struct {
+	// MaxConcurrent bounds simultaneous simulation executions (cache
+	// hits and coalesced followers are not counted — they do no
+	// simulation work). 0 means DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MaxBodyBytes bounds a request body; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// RequestTimeout bounds one run query's wall time; 0 means no
+	// deadline.
+	RequestTimeout time.Duration
+	// Now supplies wall-clock readings for the latency counters. The
+	// models never read the clock (determinism), so the daemon takes
+	// it as an input too: cmd/sx4d passes time.Now, tests pass a fake,
+	// and nil freezes latency at zero.
+	Now func() time.Time
+}
+
+// Default operating limits.
+const (
+	DefaultMaxConcurrent = 8
+	DefaultMaxBodyBytes  = 1 << 20
+)
+
+// Server answers simulation queries over HTTP. Create with New; the
+// Server is an http.Handler safe for concurrent use.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	sem    chan struct{}
+	cache  target.FPCache[[]byte]
+	flight flightGroup
+	stats  serverStats
+
+	mu      sync.Mutex
+	targets map[string]target.Target // one shared instance per machine, memo warm across queries
+}
+
+// New builds a Server from cfg, normalizing zero limits to defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		targets: make(map[string]target.Target),
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/machines", s.instrument(s.handleMachines))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument(s.handleStats))
+	s.mux.HandleFunc("POST /v1/run", s.instrument(s.handleRun))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument(s.handleSweep))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// now reads the injected clock, or reports the zero time when none was
+// configured (latency counters then stay at zero).
+func (s *Server) now() time.Time {
+	if s.cfg.Now != nil {
+		return s.cfg.Now()
+	}
+	return time.Time{}
+}
+
+// instrument wraps a handler with the request counter and the summed
+// latency clock.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.requests.Add(1)
+		start := s.now()
+		h(w, r)
+		s.stats.latencyUS.Add(s.now().Sub(start).Microseconds())
+	}
+}
+
+// httpError is an error with a wire status. answer and the handlers
+// pass these up; anything else renders as 500.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func failf(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// writeError renders an error as the {"error": ...} JSON shape with
+// its wire status, counting it.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.stats.errors.Add(1)
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+// MachineInfo is one registry entry on GET /v1/machines, listed in
+// registration order (the paper's Table 1 order, then the SX-4
+// configurations).
+type MachineInfo struct {
+	Name             string  `json:"name"`
+	Title            string  `json:"title"`
+	CPUs             int     `json:"cpus"`
+	Nodes            int     `json:"nodes"`
+	ClockNS          float64 `json:"clock_ns"`
+	PeakMFLOPSPerCPU float64 `json:"peak_mflops_per_cpu"`
+	HasDisk          bool    `json:"has_disk"`
+	// Fingerprint is the configuration hash responses are content-
+	// addressed under, as fixed-width hex.
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	var infos []MachineInfo
+	for _, name := range target.All() {
+		tgt, err := s.target(name)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		spec := tgt.Spec()
+		infos = append(infos, MachineInfo{
+			Name:             name,
+			Title:            tgt.Name(),
+			CPUs:             spec.CPUs,
+			Nodes:            spec.Nodes,
+			ClockNS:          spec.ClockNS,
+			PeakMFLOPSPerCPU: spec.PeakMFLOPSPerCPU,
+			HasDisk:          spec.DiskBytesPerSec > 0,
+			Fingerprint:      fmt.Sprintf("%016x", tgt.Fingerprint()),
+		})
+	}
+	s.writeJSON(w, map[string]any{"machines": infos})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.stats.snapshot()
+	st.CacheEntries = s.cache.Len()
+	st.Machines = len(target.All())
+	s.mu.Lock()
+	for _, tgt := range s.targets {
+		if cs, ok := tgt.(target.CacheStatser); ok {
+			ms := cs.CacheStats()
+			st.MemoHits += ms.Hits
+			st.MemoMisses += ms.Misses
+			st.MemoEntries += ms.Entries
+		}
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, st)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.queryContext(r.Context())
+	defer cancel()
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	req, err := DecodeRunRequest(data)
+	if err != nil {
+		s.writeError(w, failf(http.StatusBadRequest, "%s", err))
+		return
+	}
+	body, state, err := s.answer(ctx, req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sx4d-Cache", state)
+	w.Write(body)
+}
+
+// handleSweep consumes NDJSON run requests and streams one NDJSON
+// answer line per input line, flushing as it goes: a response body
+// line is either a run response or an {"error": ...} object, in input
+// order. A malformed line fails that line only — bulk submission is
+// the point, and one typo must not void a thousand-query sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.queryContext(r.Context())
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	sc.Buffer(make([]byte, 0, 64*1024), int(s.cfg.MaxBodyBytes))
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		s.stats.sweepLines.Add(1)
+		var out []byte
+		req, err := DecodeRunRequest(line)
+		if err == nil {
+			out, _, err = s.answer(ctx, req)
+		}
+		if err != nil {
+			s.stats.errors.Add(1)
+			out, _ = json.Marshal(map[string]string{"error": err.Error()})
+			out = append(out, '\n')
+		}
+		w.Write(out)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Too late for a status change if lines already streamed; emit
+		// the failure as a final NDJSON error line instead.
+		s.stats.errors.Add(1)
+		out, _ := json.Marshal(map[string]string{"error": err.Error()})
+		w.Write(append(out, '\n'))
+	}
+}
+
+// queryContext applies the configured per-request deadline.
+func (s *Server) queryContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// target returns the shared instance for a registry name, building it
+// on first use. Instances are shared across queries deliberately:
+// Target.Run is concurrency-safe and the timing memo warms across the
+// whole query stream.
+func (s *Server) target(name string) (target.Target, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tgt, ok := s.targets[name]; ok {
+		return tgt, nil
+	}
+	tgt, err := target.Lookup(name)
+	if err != nil {
+		return nil, failf(http.StatusNotFound, "%s", err)
+	}
+	s.targets[name] = tgt
+	return tgt, nil
+}
+
+// RunResponse is the wire shape of one answered query.
+type RunResponse struct {
+	Machine string `json:"machine"`
+	CPUs    int    `json:"cpus"`
+	// FaultSeed echoes the request's seed (0 = fault-free).
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// Results carries one benchjson record per suite member, in
+	// request order: Name is the member, Iterations its KTRIES
+	// repetition count, NsPerOp the simulated attempt duration in
+	// nanoseconds, Metrics the member's headline rates (plus
+	// "attempts" and "finished_at_s" under faults).
+	Results []benchjson.Result `json:"results"`
+}
+
+// answer resolves, classifies and serves one validated run query:
+// cache hit, coalesced into an identical in-flight query, or executed
+// fresh. The returned state is the X-Sx4d-Cache header value; the body
+// is byte-identical across all three for the same canonical query.
+func (s *Server) answer(ctx context.Context, req RunRequest) (body []byte, state string, err error) {
+	s.stats.runQueries.Add(1)
+	// A dead context gets no answer, cached or not — checked here
+	// rather than in the semaphore select alone, because a select with
+	// both a free slot and a done context ready picks randomly.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, "", failf(http.StatusServiceUnavailable, "serve: query abandoned: %s", ctxErr)
+	}
+	canon := req.Canonical()
+	tgt, err := s.target(canon.Machine)
+	if err != nil {
+		return nil, "", err
+	}
+	fp := canon.Fingerprint(tgt.Fingerprint())
+	if b, ok := s.cache.Load(fp); ok {
+		s.stats.hits.Add(1)
+		return b, "hit", nil
+	}
+	body, err, coalesced := s.flight.do(fp, func() ([]byte, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, failf(http.StatusServiceUnavailable, "serve: query abandoned before execution: %s", ctx.Err())
+		}
+		defer func() { <-s.sem }()
+		b, err := s.execute(tgt, canon, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return s.cache.LoadOrStore(fp, func() []byte { return b }), nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if coalesced {
+		s.stats.coalesced.Add(1)
+		return body, "coalesced", nil
+	}
+	s.stats.executed.Add(1)
+	return body, "miss", nil
+}
+
+// execute runs the canonical query's simulation and renders the
+// response bytes. workers rides alongside the canonical request (it
+// shapes the evaluation schedule, never the bytes).
+func (s *Server) execute(tgt target.Target, canon RunRequest, workers int) ([]byte, error) {
+	cpus := canon.CPUs
+	if cpus <= 0 {
+		cpus = tgt.Spec().CPUs
+	}
+	resp := RunResponse{
+		Machine:   tgt.Name(),
+		CPUs:      cpus,
+		FaultSeed: canon.FaultSeed,
+	}
+	if canon.FaultSeed == 0 {
+		ms, err := ncar.MeasureSuite(tgt, canon.Benchmarks, canon.CPUs, workers)
+		if err != nil {
+			return nil, failf(http.StatusUnprocessableEntity, "%s", err)
+		}
+		for _, m := range ms {
+			resp.Results = append(resp.Results, measurementResult(m))
+		}
+	} else {
+		opts := ncar.ResilientOpts{
+			Injector:        fault.NewPlan(canon.FaultSeed, fault.CanonicalHorizon, fault.CanonicalEvents),
+			DeadlineSeconds: canon.DeadlineSeconds,
+			MaxAttempts:     canon.MaxAttempts,
+		}
+		rms, err := ncar.MeasureSuiteResilient(tgt, canon.Benchmarks, canon.CPUs, workers, opts)
+		if err != nil {
+			return nil, failf(http.StatusUnprocessableEntity, "%s", err)
+		}
+		for _, rm := range rms {
+			r := measurementResult(rm.Measurement)
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics["attempts"] = float64(rm.Attempts)
+			r.Metrics["finished_at_s"] = rm.FinishedAt
+			resp.Results = append(resp.Results, r)
+		}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// measurementResult renders one structured measurement as a benchjson
+// record: the shape clients already parse from benchmark text, so a
+// response embeds cleanly in existing tooling.
+func measurementResult(m ncar.Measurement) benchjson.Result {
+	r := benchjson.Result{
+		Name:       m.Benchmark,
+		Iterations: int64(m.KTries),
+		NsPerOp:    m.Seconds * 1e9,
+	}
+	if len(m.Metrics) > 0 {
+		r.Metrics = make(map[string]float64, len(m.Metrics))
+		for k, v := range m.Metrics {
+			r.Metrics[k] = v
+		}
+	}
+	return r
+}
+
+// CanonicalRequest is the golden-pinned query: the full suite on the
+// flagship SX-4/32, fault-free, at default allocation.
+func CanonicalRequest() RunRequest {
+	return RunRequest{Machine: "sx4-32"}
+}
+
+// RenderCanonical writes the exact response body POST /v1/run returns
+// for CanonicalRequest — the byte-stable artifact the golden suite and
+// the serve-smoke script both diff against a live daemon's output.
+func RenderCanonical(w io.Writer) error {
+	body, _, err := New(Config{}).answer(context.Background(), CanonicalRequest())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}

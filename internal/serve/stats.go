@@ -1,0 +1,68 @@
+package serve
+
+import "sync/atomic"
+
+// serverStats holds the daemon's lifetime counters. Every run query is
+// classified exactly one way — cache hit, coalesced into an in-flight
+// identical query, or executed — so hits+coalesced+executed equals the
+// query count and the coalescing tests can assert executed < queries.
+type serverStats struct {
+	requests   atomic.Uint64 // HTTP requests accepted by any handler
+	runQueries atomic.Uint64 // individual run queries (POST /v1/run + sweep lines)
+	sweepLines atomic.Uint64 // NDJSON lines consumed by POST /v1/sweep
+	hits       atomic.Uint64 // queries answered from the response cache
+	coalesced  atomic.Uint64 // queries that shared an in-flight execution
+	executed   atomic.Uint64 // queries that ran the simulation
+	errors     atomic.Uint64 // queries and requests answered with an error
+	latencyUS  atomic.Int64  // summed handler wall time, microseconds
+}
+
+// Stats is the JSON shape of GET /v1/stats: the daemon's counters plus
+// a snapshot of the response cache and the aggregated timing-memo
+// counters of every machine instance the daemon has built. Hit rate is
+// over run queries (hits / (hits + coalesced + executed)); coalesced
+// queries are not cache hits — the bytes had not been stored yet when
+// they arrived.
+type Stats struct {
+	Requests     uint64 `json:"requests"`
+	RunQueries   uint64 `json:"run_queries"`
+	SweepLines   uint64 `json:"sweep_lines"`
+	CacheHits    uint64 `json:"cache_hits"`
+	Coalesced    uint64 `json:"coalesced"`
+	RunsExecuted uint64 `json:"runs_executed"`
+	Errors       uint64 `json:"errors"`
+
+	CacheEntries int     `json:"cache_entries"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// MemoHits/MemoMisses/MemoEntries aggregate the per-target timing
+	// memos (the layer below the response cache: op-trace timings
+	// shared across queries that differ in benchmark list or fault
+	// schedule but replay common traces).
+	MemoHits    uint64 `json:"memo_hits"`
+	MemoMisses  uint64 `json:"memo_misses"`
+	MemoEntries int    `json:"memo_entries"`
+
+	LatencyTotalMS float64 `json:"latency_total_ms"`
+	Machines       int     `json:"machines"`
+}
+
+// snapshot folds the counters into the wire shape. Cache entry counts
+// and memo aggregates are supplied by the server, which owns those
+// structures.
+func (s *serverStats) snapshot() Stats {
+	out := Stats{
+		Requests:     s.requests.Load(),
+		RunQueries:   s.runQueries.Load(),
+		SweepLines:   s.sweepLines.Load(),
+		CacheHits:    s.hits.Load(),
+		Coalesced:    s.coalesced.Load(),
+		RunsExecuted: s.executed.Load(),
+		Errors:       s.errors.Load(),
+	}
+	out.LatencyTotalMS = float64(s.latencyUS.Load()) / 1e3
+	if total := out.CacheHits + out.Coalesced + out.RunsExecuted; total > 0 {
+		out.CacheHitRate = float64(out.CacheHits) / float64(total)
+	}
+	return out
+}

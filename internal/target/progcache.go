@@ -1,6 +1,9 @@
 package target
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // FPCache is a sharded concurrent cache keyed by 64-bit fingerprint,
 // the container the machine models use for compiled-trace timing
@@ -14,7 +17,27 @@ import "sync"
 // the fingerprint, since concurrent first loads may each invoke it
 // and any one result may win.
 type FPCache[V any] struct {
-	shard [fpShards]fpShard[V]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	shard  [fpShards]fpShard[V]
+}
+
+// FPCacheStats reports a fingerprint cache's effectiveness counters:
+// the numbers the sx4d daemon surfaces for its content-addressed
+// response cache on /v1/stats. A LoadOrStore that computes counts as
+// one miss; the racing losers of a concurrent first load each count
+// their own miss (they did the work).
+type FPCacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (s FPCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 const fpShards = 64 // power of two, masked below
@@ -33,12 +56,17 @@ func fpShardOf(fp uint64) uint64 {
 	return fp & (fpShards - 1)
 }
 
-// Load returns the cached value for fp.
+// Load returns the cached value for fp, counting a hit or miss.
 func (c *FPCache[V]) Load(fp uint64) (V, bool) {
 	s := &c.shard[fpShardOf(fp)]
 	s.mu.RLock()
 	v, ok := s.m[fp]
 	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return v, ok
 }
 
@@ -64,6 +92,17 @@ func (c *FPCache[V]) LoadOrStore(fp uint64, mk func() V) V {
 	s.m[fp] = v
 	s.mu.Unlock()
 	return v
+}
+
+// Stats returns the cache's counters. A LoadOrStore that found the
+// value counts as the one hit its inner Load recorded; lifetime
+// counters survive Clear (the entries they describe do not).
+func (c *FPCache[V]) Stats() FPCacheStats {
+	return FPCacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.Len(),
+	}
 }
 
 // Len returns the number of cached values.

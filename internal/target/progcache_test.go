@@ -1,0 +1,70 @@
+package target
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFPCacheStats(t *testing.T) {
+	var c FPCache[int]
+	if st := c.Stats(); st != (FPCacheStats{}) {
+		t.Fatalf("fresh cache stats = %+v, want zero", st)
+	}
+	if _, ok := c.Load(7); ok {
+		t.Fatal("Load hit on an empty cache")
+	}
+	got := c.LoadOrStore(7, func() int { return 42 })
+	if got != 42 {
+		t.Fatalf("LoadOrStore = %d, want 42", got)
+	}
+	if v, ok := c.Load(7); !ok || v != 42 {
+		t.Fatalf("Load after store = %d,%v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit (the re-Load), 2 misses (cold Load + LoadOrStore), 1 entry", st)
+	}
+	if hr := st.HitRate(); hr <= 0.33 || hr >= 0.34 {
+		t.Fatalf("hit rate = %v, want 1/3", hr)
+	}
+	c.Clear()
+	st = c.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("entries survive Clear: %+v", st)
+	}
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("lifetime counters reset by Clear: %+v", st)
+	}
+}
+
+// TestFPCacheStatsConcurrent pins the counters' race-freedom: total
+// lookups must equal hits+misses whatever the interleaving.
+func TestFPCacheStatsConcurrent(t *testing.T) {
+	var c FPCache[uint64]
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				fp := uint64(i % 32)
+				c.LoadOrStore(fp, func() uint64 { return fp * fp })
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != 32 {
+		t.Fatalf("entries = %d, want 32", st.Entries)
+	}
+	// Every LoadOrStore records exactly one inner-Load hit or miss;
+	// racing losers of a cold fingerprint may add an extra miss via the
+	// second locked check's preceding Load, but never lose a count.
+	if st.Hits+st.Misses < workers*perWorker {
+		t.Fatalf("hits %d + misses %d < %d lookups", st.Hits, st.Misses, workers*perWorker)
+	}
+	if st.Misses < 32 {
+		t.Fatalf("misses = %d, want at least one per distinct fingerprint", st.Misses)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sx4bench/internal/fault"
 	"sx4bench/internal/machine"
 	"sx4bench/internal/ncar"
+	"sx4bench/internal/serve"
 	"sx4bench/internal/sx4"
 	"sx4bench/internal/target"
 )
@@ -65,6 +66,7 @@ func Experiments() []string {
 		"fig5", "fig6", "fig7", "fig8",
 		"radabs", "pop", "prodload", "correctness", "io",
 		"multinode", "report", "profile", "crossmachine", "resilience",
+		"serve",
 	}
 }
 
@@ -169,6 +171,12 @@ func RunExperiment(w io.Writer, m Target, id string) error {
 			return err
 		}
 		return core.WriteTable(w, tab)
+	case "serve":
+		// The canonical sx4d response body: what POST /v1/run returns
+		// for the full suite on the flagship configuration. m is unused
+		// — the daemon resolves machines through the registry, and the
+		// artifact pins the wire bytes, not a particular instance.
+		return serve.RenderCanonical(w)
 	case "profile":
 		for _, res := range []string{"T42L18", "T170L18"} {
 			tab, err := ncar.ProfileTable(m, res, m.Spec().CPUs)
