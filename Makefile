@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short ci smoke serve-smoke faults examples figures report clean goldens goldens-check fuzz-smoke cover
+.PHONY: all build vet lint test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short bench-capacity bench-capacity-short ci smoke serve-smoke faults capacity examples figures report clean goldens goldens-check fuzz-smoke cover
 
 all: build vet lint test
 
@@ -45,9 +45,11 @@ bench:
 # and govulncheck when installed — CI installs them, local runs skip
 # them gracefully), sx4lint, build, the full test suite under the race
 # detector, the golden-artifact check, the cross-machine smoke sweep,
-# the resilience smoke, the cold-sweep smoke (compiled vs interpreted
-# checksums over 1k memo-cold scenarios), and the sx4d daemon smoke
-# (live /healthz and golden-pinned /v1/run over real HTTP).
+# the resilience smoke, the fleet capacity smoke (golden-pinned
+# capacity artifact plus a live -fleet run), the cold-sweep and
+# capacity scaling smokes (1k memo-cold scenarios each, checksums
+# cross-checked), and the sx4d daemon smoke (live /healthz and
+# golden-pinned /v1/run over real HTTP).
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -60,7 +62,9 @@ ci:
 	$(GO) run ./cmd/goldens
 	$(GO) run ./cmd/ncarbench -machine all -short
 	$(MAKE) faults
+	$(MAKE) capacity
 	$(MAKE) bench-sweep-short
+	$(MAKE) bench-capacity-short
 	$(MAKE) serve-smoke
 
 # Cross-machine smoke: one line of scalar anchors per registered
@@ -86,6 +90,14 @@ faults:
 	$(GO) run ./cmd/figures -exp resilience | awk 'NR>3 && NF>1 { if ($$NF != "0") { print "faults: lost jobs in row:", $$0; exit 1 } }'
 	$(GO) run ./cmd/ncarbench -machine sx4-32 -run RADABS -faults 1996
 
+# Fleet capacity smoke: the canonical capacity artifact must match its
+# golden (the 24-scenario Monte Carlo over sx4-32x2,c90), and a live
+# -fleet run must answer — the multi-node engine exercised end to end,
+# with no job lost (last column all zeros).
+capacity:
+	$(GO) run ./cmd/goldens -artifact capacity
+	$(GO) run ./cmd/ncarbench -fleet sx4-32x2,c90 -scenarios 24 | awk 'NR>3 && NF>1 { if ($$NF != "0") { print "capacity: lost jobs in row:", $$0; exit 1 } }'
+
 # Regenerate the golden artifacts in internal/check/testdata/goldens
 # after an intentional model change; review `git diff` before
 # committing. goldens-check verifies without writing (what CI runs).
@@ -103,6 +115,7 @@ fuzz-smoke:
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzMachineRun$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzReportParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fault -run '^$$' -fuzz '^FuzzFaultPlanParse$$' -fuzztime $(FUZZTIME)
 
 # Aggregate statement coverage across all packages.
 cover:
@@ -125,6 +138,17 @@ bench-sweep:
 
 bench-sweep-short:
 	$(GO) test -run '^$$' -bench '^BenchmarkColdSweep10k$$' -short -benchtime 1x .
+
+# Record the fleet capacity scaling baseline — the memo-cold
+# 10k-scenario Monte Carlo over the canonical fleet at 1/4/8 workers,
+# with the 1-vs-8-worker ratio pinned as capacity_parallel_speedup —
+# as BENCH_CAPACITY.json. bench-capacity-short is the CI smoke: 1k
+# scenarios, one iteration, checksum cross-checked between variants.
+bench-capacity:
+	$(GO) test -run '^$$' -bench '^BenchmarkCapacityMonteCarlo$$' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_CAPACITY.json
+
+bench-capacity-short:
+	$(GO) test -run '^$$' -bench '^BenchmarkCapacityMonteCarlo$$' -short -benchtime 1x .
 
 # Regenerate every table and figure of the paper.
 figures:

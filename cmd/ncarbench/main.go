@@ -13,6 +13,12 @@
 //	ncarbench -run CCM2 -cpus 16
 //	ncarbench -run RADABS -faults 1996 # under a seeded fault schedule
 //	ncarbench -run all -faults sched.txt -deadline 600
+//
+// Fleet capacity planning (the multi-node Monte Carlo):
+//
+//	ncarbench -fleet sx4-32x2,c90                  # canonical 100-scenario plan
+//	ncarbench -fleet sx4-32x4 -scenarios 1000      # bigger fleet, bigger sweep
+//	ncarbench -fleet sx4-32,c90 -scenarios 240 -fleetseed 7 -workers 8
 package main
 
 import (
@@ -24,8 +30,10 @@ import (
 	"strings"
 
 	"sx4bench"
+	"sx4bench/internal/core"
 	"sx4bench/internal/core/sched"
 	"sx4bench/internal/fault"
+	"sx4bench/internal/fleet"
 	"sx4bench/internal/ncar"
 	"sx4bench/internal/target"
 )
@@ -49,6 +57,12 @@ type options struct {
 	// cachestats prints each machine's timing-memo counters — shard
 	// occupancy and generation drops included — after its results.
 	cachestats bool
+
+	// fleet, when non-empty, switches to capacity-planning mode: a
+	// Monte Carlo of week-long scenarios over the specified fleet.
+	fleet     string
+	scenarios int
+	fleetseed int64
 }
 
 func main() {
@@ -63,6 +77,9 @@ func main() {
 	flag.Float64Var(&o.deadline, "deadline", 0, "simulated-seconds deadline per benchmark under -faults (0 = none)")
 	flag.IntVar(&o.retries, "retries", 0, "max attempts per benchmark under -faults (0 = default)")
 	flag.BoolVar(&o.cachestats, "cachestats", false, "print each machine's timing-memo counters (shard occupancy, generation drops) after its results")
+	flag.StringVar(&o.fleet, "fleet", "", "fleet spec for capacity planning, e.g. 'sx4-32x2,c90' (registry names with optional xN replication)")
+	flag.IntVar(&o.scenarios, "scenarios", 0, "Monte Carlo scenario count for -fleet (0 = the canonical 100)")
+	flag.Int64Var(&o.fleetseed, "fleetseed", 0, "fleet seed every -fleet scenario derives from (0 = the canonical 1996)")
 	flag.Parse()
 
 	if err := runMain(os.Stdout, o); err != nil {
@@ -72,6 +89,12 @@ func main() {
 
 // runMain is the testable body of the command.
 func runMain(w io.Writer, o options) error {
+	if o.fleet != "" {
+		return runCapacity(w, o)
+	}
+	if o.scenarios != 0 || o.fleetseed != 0 {
+		return fmt.Errorf("-scenarios and -fleetseed need -fleet")
+	}
 	injector, err := loadFaults(o.faults)
 	if err != nil {
 		return err
@@ -121,6 +144,29 @@ func runMain(w io.Writer, o options) error {
 		}
 	}
 	return nil
+}
+
+// runCapacity answers one fleet capacity question: scenarios week-long
+// Monte Carlo draws (arrival mixes × per-node fault plans × degraded
+// fleets) over the specified fleet, printed as the capacity table. The
+// output is byte-identical for every -workers value.
+func runCapacity(w io.Writer, o options) error {
+	scenarios := o.scenarios
+	if scenarios == 0 {
+		scenarios = fleet.DefaultScenarios
+	}
+	if scenarios < 0 {
+		return fmt.Errorf("-scenarios %d must be positive", o.scenarios)
+	}
+	seed := o.fleetseed
+	if seed == 0 {
+		seed = fleet.DefaultSeed
+	}
+	tab, err := ncar.CapacityTableFor(o.fleet, scenarios, seed, o.workers)
+	if err != nil {
+		return err
+	}
+	return core.WriteTable(w, tab)
 }
 
 // printCacheStats reports a machine's timing-memo counters when asked.

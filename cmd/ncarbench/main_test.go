@@ -149,3 +149,37 @@ func TestRunMainCacheStats(t *testing.T) {
 		t.Errorf("counters printed without -cachestats:\n%s", buf.String())
 	}
 }
+
+func TestRunMainFleetCapacity(t *testing.T) {
+	run := func(workers int) string {
+		var buf bytes.Buffer
+		err := runMain(&buf, options{fleet: "sx4-32,c90", scenarios: 6, fleetseed: 7, workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := run(1)
+	if !strings.Contains(serial, "Fleet capacity planning") || !strings.Contains(serial, "diurnal") {
+		t.Fatalf("capacity output missing the table:\n%s", serial)
+	}
+	// The capacity table is byte-identical for every -workers value.
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); got != serial {
+			t.Errorf("-workers %d output differs:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+}
+
+func TestRunMainFleetFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, options{scenarios: 10}); err == nil {
+		t.Error("-scenarios without -fleet accepted")
+	}
+	if err := runMain(&buf, options{fleet: "nosuchmachine"}); err == nil {
+		t.Error("unknown fleet member accepted")
+	}
+	if err := runMain(&buf, options{fleet: "sx4-32", scenarios: -1}); err == nil {
+		t.Error("negative -scenarios accepted")
+	}
+}

@@ -11,6 +11,7 @@ func TestLayering(t *testing.T) {
 	analysistest.Run(t, "testdata", layering.Analyzer,
 		"sx4bench/internal/fakerunner",
 		"sx4bench/internal/fakesweep",
+		"sx4bench/internal/fleet",
 		"sx4bench/internal/machine",
 		"sx4bench/internal/serve",
 	)

@@ -1,0 +1,14 @@
+// Package fleet is a layering fixture mirroring the capacity engine:
+// it stands fleets of nodes from registry specs, so it must build
+// every machine through sx4bench/internal/target — reaching for the
+// concrete model packages would hardwire the fleet to one backend and
+// bypass the registry's name resolution.
+package fleet
+
+import (
+	_ "sx4bench/internal/fault"   // per-node fault plans are a sanctioned leaf
+	_ "sx4bench/internal/machine" // want `import of sx4bench/internal/machine \(the concrete comparator models\) above the model layer`
+	_ "sx4bench/internal/superux" // the per-node operating-system model is a sanctioned leaf
+	_ "sx4bench/internal/sx4"     // want `import of sx4bench/internal/sx4 \(the concrete SX-4 model\) above the model layer`
+	_ "sx4bench/internal/target"  // the sanctioned dependency
+)

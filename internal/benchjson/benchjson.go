@@ -41,6 +41,10 @@ type Baseline struct {
 	// BenchmarkColdSweep10k pair: what trace compilation buys on a
 	// memo-cold sweep.
 	ColdSweepSpeedup float64 `json:"coldsweep_compiled_speedup,omitempty"`
+	// CapacitySpeedup is serial ns/op divided by 8-worker ns/op for
+	// the BenchmarkCapacityMonteCarlo pair: how the fleet capacity
+	// Monte Carlo scales across workers on the recording host.
+	CapacitySpeedup float64 `json:"capacity_parallel_speedup,omitempty"`
 }
 
 // Parse reads `go test -bench` text output and collects every
@@ -52,6 +56,7 @@ func Parse(r io.Reader) (Baseline, error) {
 	var b Baseline
 	var serial, parallel float64
 	var sweepCompiled, sweepInterp float64
+	var capSerial, capParallel float64
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -84,6 +89,10 @@ func Parse(r io.Reader) (Baseline, error) {
 			sweepCompiled = r.NsPerOp
 		case "BenchmarkColdSweep10k/uncompiled/workers=8":
 			sweepInterp = r.NsPerOp
+		case "BenchmarkCapacityMonteCarlo/workers=1":
+			capSerial = r.NsPerOp
+		case "BenchmarkCapacityMonteCarlo/workers=8":
+			capParallel = r.NsPerOp
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -97,6 +106,9 @@ func Parse(r io.Reader) (Baseline, error) {
 	}
 	if sweepCompiled > 0 && sweepInterp > 0 {
 		b.ColdSweepSpeedup = sweepInterp / sweepCompiled
+	}
+	if capSerial > 0 && capParallel > 0 {
+		b.CapacitySpeedup = capSerial / capParallel
 	}
 	return b, nil
 }

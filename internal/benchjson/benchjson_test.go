@@ -48,6 +48,28 @@ func TestParseSample(t *testing.T) {
 	}
 }
 
+func TestParseCapacitySpeedup(t *testing.T) {
+	in := `BenchmarkCapacityMonteCarlo/workers=1-8   	       1	 9000000000 ns/op	 1111 scenarios/s
+BenchmarkCapacityMonteCarlo/workers=4-8   	       1	 4500000000 ns/op	 2222 scenarios/s
+BenchmarkCapacityMonteCarlo/workers=8-8   	       1	 3000000000 ns/op	 3333 scenarios/s
+`
+	b, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.CapacitySpeedup-3.0) > 1e-12 {
+		t.Errorf("CapacitySpeedup = %v, want 3.0 (workers=1 over workers=8)", b.CapacitySpeedup)
+	}
+	// Either end missing means no summary, not a half-derived one.
+	half, err := Parse(strings.NewReader("BenchmarkCapacityMonteCarlo/workers=1-8 1 9000000000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.CapacitySpeedup != 0 {
+		t.Errorf("CapacitySpeedup = %v from a single variant, want 0", half.CapacitySpeedup)
+	}
+}
+
 func TestParseEmptyErrors(t *testing.T) {
 	for _, in := range []string{"", "PASS\nok\n", "goos: linux\n"} {
 		if _, err := Parse(strings.NewReader(in)); err == nil {

@@ -134,6 +134,7 @@ func Write(w io.Writer, b Baseline) error {
 		}
 	}
 	var serial, parallel, sweepCompiled, sweepInterp float64
+	var capSerial, capParallel float64
 	for _, r := range b.Benchmarks {
 		if !strings.HasPrefix(r.Name, "Benchmark") {
 			return fmt.Errorf("benchjson: record %q lacks the Benchmark prefix Parse filters on", r.Name)
@@ -154,6 +155,10 @@ func Write(w io.Writer, b Baseline) error {
 			sweepCompiled = r.NsPerOp
 		case "BenchmarkColdSweep10k/uncompiled/workers=8":
 			sweepInterp = r.NsPerOp
+		case "BenchmarkCapacityMonteCarlo/workers=1":
+			capSerial = r.NsPerOp
+		case "BenchmarkCapacityMonteCarlo/workers=8":
+			capParallel = r.NsPerOp
 		}
 	}
 	if derived := deriveSpeedup(serial, parallel); derived != b.RunAllSpeedup {
@@ -163,6 +168,10 @@ func Write(w io.Writer, b Baseline) error {
 	if derived := deriveSpeedup(sweepInterp, sweepCompiled); derived != b.ColdSweepSpeedup {
 		return fmt.Errorf("benchjson: coldsweep_compiled_speedup %v disagrees with the records (Parse would rederive %v)",
 			b.ColdSweepSpeedup, derived)
+	}
+	if derived := deriveSpeedup(capSerial, capParallel); derived != b.CapacitySpeedup {
+		return fmt.Errorf("benchjson: capacity_parallel_speedup %v disagrees with the records (Parse would rederive %v)",
+			b.CapacitySpeedup, derived)
 	}
 	return nil
 }

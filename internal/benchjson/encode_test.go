@@ -105,6 +105,13 @@ func TestWriteParseRoundTrip(t *testing.T) {
 				Result{Name: "BenchmarkRunAllParallel-8", Iterations: 100, NsPerOp: 1000})
 			b.RunAllSpeedup = 4
 		}
+		if rng.Intn(3) == 0 {
+			// The capacity scaling pair works the same way.
+			b.Benchmarks = append(b.Benchmarks,
+				Result{Name: "BenchmarkCapacityMonteCarlo/workers=1-8", Iterations: 1, NsPerOp: 9e9},
+				Result{Name: "BenchmarkCapacityMonteCarlo/workers=8-8", Iterations: 1, NsPerOp: 3e9})
+			b.CapacitySpeedup = 3
+		}
 		var sb strings.Builder
 		if err := Write(&sb, b); err != nil {
 			t.Fatalf("case %d: Write: %v", i, err)
@@ -160,6 +167,7 @@ func TestWriteRejects(t *testing.T) {
 		{"unprefixed name", Baseline{Benchmarks: []Result{{Name: "Bogus", Iterations: 1, NsPerOp: 1}}}},
 		{"multiline header", Baseline{GOOS: "li\nnux", Benchmarks: []Result{ok}}},
 		{"stale speedup", Baseline{Benchmarks: []Result{ok}, RunAllSpeedup: 2}},
+		{"stale capacity speedup", Baseline{Benchmarks: []Result{ok}, CapacitySpeedup: 3}},
 	}
 	for _, tc := range cases {
 		var sb strings.Builder

@@ -44,9 +44,11 @@ const DefaultDir = "internal/check/testdata/goldens"
 // scalar anchors (RADABS, POP, PRODLOAD), the I/O category, the
 // multinode and profile projections, the cross-machine suite sweep,
 // the resilience sweep (degraded-mode rates and recovery accounting
-// under the canonical fault schedule), and the canonical sx4d /v1/run
+// under the canonical fault schedule), the canonical sx4d /v1/run
 // response body (the daemon's content-addressed wire bytes for the
-// full suite on the flagship configuration). The identifiers are
+// full suite on the flagship configuration), and the fleet capacity
+// Monte Carlo (per-mix latency percentiles and recovery accounting
+// over the canonical fleet, checksum included). The identifiers are
 // the sx4bench.RunExperiment ids, so any golden can be reproduced by
 // hand with `go run ./cmd/figures -exp <id>`.
 //
@@ -60,7 +62,7 @@ func Artifacts() []string {
 		"fig5", "fig6", "fig7", "fig8",
 		"radabs", "pop", "prodload", "io",
 		"multinode", "profile", "crossmachine", "resilience",
-		"serve",
+		"serve", "capacity",
 	}
 }
 

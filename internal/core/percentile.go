@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentiles returns the nearest-rank percentiles of xs, one value per
+// requested p (0 < p <= 100): the smallest element whose rank r
+// satisfies r >= ceil(p/100 * n). This is the classical nearest-rank
+// definition — no interpolation — so every returned value is an actual
+// member of xs and ties are deterministic regardless of the input
+// order. xs is not modified; an empty xs yields all zeros, and p <= 0
+// clamps to the minimum while p >= 100 clamps to the maximum.
+//
+// The fleet capacity engine reports p50/p95/p99 job latency through
+// this helper so the Monte Carlo aggregation stays byte-stable across
+// worker counts.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	for i, p := range ps {
+		// Nearest rank: ceil(p/100 * n). Integer percentiles and counts
+		// divide exactly in float64 (both are exactly representable and
+		// IEEE division is correctly rounded), so p=50 over n=4 lands on
+		// rank 2, never 3.
+		rank := int(math.Ceil(p * float64(n) / 100))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}

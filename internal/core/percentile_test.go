@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentilesNearestRank(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		ps   []float64
+		want []float64
+	}{
+		{
+			name: "empty input yields zeros",
+			xs:   nil,
+			ps:   []float64{50, 95, 99},
+			want: []float64{0, 0, 0},
+		},
+		{
+			name: "single element answers every percentile",
+			xs:   []float64{7},
+			ps:   []float64{1, 50, 99, 100},
+			want: []float64{7, 7, 7, 7},
+		},
+		{
+			name: "textbook nearest rank over ten elements",
+			xs:   []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			ps:   []float64{25, 50, 75, 100},
+			want: []float64{3, 5, 8, 10},
+		},
+		{
+			name: "exact boundary rank is not rounded up",
+			// p=50 over n=4 is rank ceil(2.0)=2, the second element.
+			xs:   []float64{10, 20, 30, 40},
+			ps:   []float64{50},
+			want: []float64{20},
+		},
+		{
+			name: "unsorted input is sorted first",
+			xs:   []float64{9, 1, 5, 3, 7},
+			ps:   []float64{50},
+			want: []float64{5},
+		},
+		{
+			name: "p95 and p99 on a hundred elements",
+			xs:   iota100(),
+			ps:   []float64{95, 99},
+			want: []float64{95, 99},
+		},
+		{
+			name: "ties are deterministic members of the input",
+			xs:   []float64{4, 4, 4, 1, 9},
+			ps:   []float64{50, 95},
+			want: []float64{4, 9},
+		},
+		{
+			name: "out-of-range percentiles clamp to min and max",
+			xs:   []float64{2, 4, 6},
+			ps:   []float64{0, -5, 120},
+			want: []float64{2, 2, 6},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Percentiles(tc.xs, tc.ps...)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Percentiles returned %d values, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("p%v = %v, want %v", tc.ps[i], got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// iota100 returns 1..100.
+func iota100() []float64 {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return xs
+}
+
+func TestPercentilesDoesNotModifyInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentiles(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input reordered to %v", xs)
+	}
+}
+
+func TestPercentilesEveryResultIsAMember(t *testing.T) {
+	xs := []float64{0.25, math.Pi, 42.5, 1e-9, 17}
+	for _, p := range []float64{1, 10, 33, 50, 66, 90, 95, 99, 100} {
+		v := Percentiles(xs, p)[0]
+		found := false
+		for _, x := range xs {
+			if x == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("p%v = %v is not a member of the input (interpolation is forbidden)", p, v)
+		}
+	}
+}

@@ -243,6 +243,29 @@ const (
 // Canonical returns the canonical seeded plan.
 func Canonical() *Plan { return NewPlan(CanonicalSeed, CanonicalHorizon, CanonicalEvents) }
 
+// NodeSeed derives the node-th per-node fault seed from one fleet
+// seed: a double SplitMix64 mix of (fleetSeed, node), so a whole
+// fleet's failure scenario is reproduced from one integer while every
+// node still draws an independent, well-spread schedule. The identity
+// of existing single-node plans is untouched — NodeSeed never equals
+// its input for the canonical scenarios, and NewPlan itself is
+// unchanged, so the seed-1996 plan behind the resilience golden is
+// byte-identical with or without a fleet above it.
+func NodeSeed(fleetSeed int64, node int) int64 {
+	// The (node+1)-th draw of the SplitMix64 stream seeded by the fleet
+	// seed: jumping the state by node+1 golden-ratio increments is the
+	// stream's native skip-ahead, and the asymmetric mix keeps
+	// (fleet, node) pairs from aliasing each other the way a plain XOR
+	// of the two halves would.
+	return int64(splitmix64(splitmix64(uint64(fleetSeed)) + 0x9e3779b97f4a7c15*(uint64(node)+1)))
+}
+
+// NewNodePlan is the fleet form of NewPlan: the node-th schedule of a
+// fleet-wide scenario, NewPlan evaluated at NodeSeed(fleetSeed, node).
+func NewNodePlan(fleetSeed int64, node int, horizon float64, n int) *Plan {
+	return NewPlan(NodeSeed(fleetSeed, node), horizon, n)
+}
+
 // Format writes the plan in the schedule-file syntax Parse reads: one
 // "<at-seconds> <kind> <unit>" line per event.
 func (p *Plan) Format(w io.Writer) error {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"sx4bench/internal/ccm2"
+	"sx4bench/internal/fleet"
 	"sx4bench/internal/iobench"
 	"sx4bench/internal/superux"
 	"sx4bench/internal/sx4/iop"
@@ -82,34 +83,31 @@ type Result struct {
 // TotalMinutes returns the benchmark total in minutes.
 func (r Result) TotalMinutes() float64 { return r.TotalSeconds / 60 }
 
-// runSequencedTest schedules `sequences` concurrent sequences of four
-// jobs each on the superux scheduler and returns the makespan.
-func runSequencedTest(m target.Target, sequences int) float64 {
-	nodeCPUs := m.Spec().CPUs
-	blockCPUs := nodeCPUs / sequences
+// sequenceBlockCPUs is each sequence's processor allocation: an even
+// split of the node, floored at one CPU so the uniprocessor
+// comparators time-share.
+func sequenceBlockCPUs(m target.Target, sequences int) int {
+	blockCPUs := m.Spec().CPUs / sequences
 	if blockCPUs < 1 {
-		// Machines with fewer CPUs than sequences (the uniprocessor
-		// comparators) time-share one CPU per block; the scheduler
-		// needs a positive allocation.
 		blockCPUs = 1
 	}
-	var blocks []superux.ResourceBlock
-	for s := 0; s < sequences; s++ {
-		blocks = append(blocks, superux.ResourceBlock{
-			Name:    fmt.Sprintf("seq%d", s),
-			MaxCPUs: blockCPUs,
-			MemGB:   8.0 / float64(sequences),
-			Policy:  superux.FIFO,
-		})
-	}
-	sys := superux.NewSystem(blocks...)
+	return blockCPUs
+}
+
+// SequencedArrivals expresses a sequenced PRODLOAD test as a fleet
+// arrival schedule: `sequences` concurrent sequences of four jobs,
+// every job submitted at t=0 bound to its sequence's resource block,
+// occupying the whole block (serializing the sequence) for the slowest
+// component's duration. This is the benchmark's arrival process split
+// from its replay — the legacy golden path below and the fleet
+// capacity engine consume the same schedule shape.
+func SequencedArrivals(m target.Target, sequences int) []fleet.Arrival {
+	blockCPUs := sequenceBlockCPUs(m, sequences)
 	jt := jobComponents(m, blockCPUs)
+	arrivals := make([]fleet.Arrival, 0, 4*sequences)
 	for s := 0; s < sequences; s++ {
 		for j := 0; j < 4; j++ {
-			// One scheduler job per PRODLOAD job: it occupies the whole
-			// block (serializing the sequence) for the slowest
-			// component's duration.
-			sys.Submit(superux.Job{
+			arrivals = append(arrivals, fleet.Arrival{
 				Name:    fmt.Sprintf("seq%d-job%d", s, j),
 				Block:   fmt.Sprintf("seq%d", s),
 				CPUs:    blockCPUs,
@@ -118,7 +116,32 @@ func runSequencedTest(m target.Target, sequences int) float64 {
 			})
 		}
 	}
-	return sys.Advance()
+	return arrivals
+}
+
+// SequencedBlocks is the matching scheduler geometry: one FIFO
+// resource block per sequence.
+func SequencedBlocks(m target.Target, sequences int) []superux.ResourceBlock {
+	blockCPUs := sequenceBlockCPUs(m, sequences)
+	blocks := make([]superux.ResourceBlock, 0, sequences)
+	for s := 0; s < sequences; s++ {
+		blocks = append(blocks, superux.ResourceBlock{
+			Name:    fmt.Sprintf("seq%d", s),
+			MaxCPUs: blockCPUs,
+			MemGB:   8.0 / float64(sequences),
+			Policy:  superux.FIFO,
+		})
+	}
+	return blocks
+}
+
+// runSequencedTest replays the sequenced arrival schedule on a fresh
+// superux system and returns the makespan. All arrivals land at t=0,
+// so the replay is submission-order identical to the pre-split
+// scheduler loop — the prodload golden does not move.
+func runSequencedTest(m target.Target, sequences int) float64 {
+	sys := superux.NewSystem(SequencedBlocks(m, sequences)...)
+	return fleet.Replay(sys, SequencedArrivals(m, sequences))
 }
 
 // runTest4 models two concurrent 2-day T170 runs on half the node each.

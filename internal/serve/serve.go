@@ -10,9 +10,10 @@
 // so hits, coalesced answers and fresh executions are
 // indistinguishable on the wire.
 //
-// The package speaks to the machines only through the target registry
-// and the ncar measurement entry points; it never imports a concrete
-// machine package (the layering analyzer pins this).
+// The package speaks to the machines only through the target registry,
+// the ncar measurement entry points and the fleet capacity engine; it
+// never imports a concrete machine package (the layering analyzer pins
+// this).
 package serve
 
 import (
@@ -28,6 +29,7 @@ import (
 
 	"sx4bench/internal/benchjson"
 	"sx4bench/internal/fault"
+	"sx4bench/internal/fleet"
 	"sx4bench/internal/ncar"
 	"sx4bench/internal/target"
 )
@@ -66,6 +68,11 @@ type Server struct {
 	cache  target.FPCache[[]byte]
 	flight flightGroup
 	stats  serverStats
+	// capacity is the daemon-lifetime fleet Monte Carlo engine: its
+	// per-scenario memo sits below the response cache, so capacity
+	// queries over overlapping scenario sets re-simulate only what no
+	// earlier query ran.
+	capacity fleet.Engine
 
 	mu      sync.Mutex
 	targets map[string]target.Target // one shared instance per machine, memo warm across queries
@@ -90,6 +97,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.instrument(s.handleStats))
 	s.mux.HandleFunc("POST /v1/run", s.instrument(s.handleRun))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument(s.handleSweep))
+	s.mux.HandleFunc("POST /v1/capacity", s.instrument(s.handleCapacity))
 	return s
 }
 
@@ -198,6 +206,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.stats.snapshot()
 	st.CacheEntries = s.cache.Len()
 	st.Machines = len(target.All())
+	cs := s.capacity.Stats()
+	st.CapacityScenariosRun = cs.Misses
+	st.CapacityScenarioHits = cs.Hits
 	s.mu.Lock()
 	for _, tgt := range s.targets {
 		if cs, ok := tgt.(target.CacheStatser); ok {

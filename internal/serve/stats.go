@@ -15,6 +15,9 @@ type serverStats struct {
 	executed   atomic.Uint64 // queries that ran the simulation
 	errors     atomic.Uint64 // queries and requests answered with an error
 	latencyUS  atomic.Int64  // summed handler wall time, microseconds
+
+	capacityQueries atomic.Uint64 // fleet capacity queries (POST /v1/capacity)
+	capacityJobs    atomic.Uint64 // jobs simulated by executed capacity queries
 }
 
 // Stats is the JSON shape of GET /v1/stats: the daemon's counters plus
@@ -43,6 +46,15 @@ type Stats struct {
 	MemoMisses  uint64 `json:"memo_misses"`
 	MemoEntries int    `json:"memo_entries"`
 
+	// The fleet capacity counters: queries answered, jobs simulated by
+	// executed queries, and the scenario-level memo's activity (the
+	// cache below the response cache — scenarios run cold versus served
+	// from the memo across overlapping capacity queries).
+	CapacityQueries      uint64 `json:"capacity_queries"`
+	CapacityJobs         uint64 `json:"capacity_jobs_simulated"`
+	CapacityScenariosRun uint64 `json:"capacity_scenarios_run"`
+	CapacityScenarioHits uint64 `json:"capacity_scenario_cache_hits"`
+
 	LatencyTotalMS float64 `json:"latency_total_ms"`
 	Machines       int     `json:"machines"`
 }
@@ -59,6 +71,9 @@ func (s *serverStats) snapshot() Stats {
 		Coalesced:    s.coalesced.Load(),
 		RunsExecuted: s.executed.Load(),
 		Errors:       s.errors.Load(),
+
+		CapacityQueries: s.capacityQueries.Load(),
+		CapacityJobs:    s.capacityJobs.Load(),
 	}
 	out.LatencyTotalMS = float64(s.latencyUS.Load()) / 1e3
 	if total := out.CacheHits + out.Coalesced + out.RunsExecuted; total > 0 {

@@ -157,20 +157,31 @@ func (s *System) survivingHome(j *Job) (string, bool) {
 	return "", false
 }
 
-// failJob reports a job as unrecoverable and removes it from the
-// queue. Failed is terminal: the job stays in Jobs with its state and
-// output intact, so no submission is ever silently dropped.
+// failJob handles a job no surviving resource block on this node can
+// hold: the installed migrator (if any) is offered the job first —
+// acceptance makes the job Migrated, terminal here, continued
+// elsewhere by the fleet layer — and otherwise the job is reported
+// Failed. Both outcomes remove it from the queue but keep it in Jobs
+// with its state and output intact, so no submission is ever silently
+// dropped.
 func (s *System) failJob(j *Job) {
-	j.State = Failed
-	j.FinishAt = s.Clock
-	j.Output += fmt.Sprintf("job %d (%s) failed at %.2f: no surviving resource block\n",
-		j.ID, j.Name, s.Clock)
 	for i, id := range s.queue {
 		if id == j.ID {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			break
 		}
 	}
+	if s.migrator != nil && s.migrator(*j) {
+		j.State = Migrated
+		j.FinishAt = s.Clock
+		j.Output += fmt.Sprintf("job %d (%s) migrated off node at %.2f: no surviving resource block here\n",
+			j.ID, j.Name, s.Clock)
+		return
+	}
+	j.State = Failed
+	j.FinishAt = s.Clock
+	j.Output += fmt.Sprintf("job %d (%s) failed at %.2f: no surviving resource block\n",
+		j.ID, j.Name, s.Clock)
 }
 
 // AdvanceUntil runs the event loop up to simulated time t: completions
@@ -215,6 +226,10 @@ func (s *System) Tally() (recovered, failed, lost int) {
 			recovered++
 		case j.State == Failed:
 			failed++
+		case j.State == Migrated:
+			// Accounted by the fleet layer that accepted it; the job
+			// continues on another node and is neither failed nor lost
+			// here.
 		case j.State != Done && j.State != Queued && j.State != Running:
 			lost++
 		}

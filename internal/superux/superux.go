@@ -63,6 +63,11 @@ const (
 	// surviving resource block can hold it. Failed is terminal and
 	// reported — a job is never silently dropped.
 	Failed
+	// Migrated marks a job a cluster-level migrator accepted off this
+	// node after a fault left it homeless here; it is terminal on this
+	// node, and the fleet layer that installed the migrator (see
+	// SetMigrator) owns the job's continued accounting.
+	Migrated
 )
 
 func (s JobState) String() string {
@@ -75,6 +80,8 @@ func (s JobState) String() string {
 		return "done"
 	case Failed:
 		return "failed"
+	case Migrated:
+		return "migrated"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -132,6 +139,12 @@ type System struct {
 	// schedule is immutable once attached.
 	schedule       []fault.Event
 	scheduleLoaded bool
+
+	// migrator, when installed, is offered every job a fault leaves
+	// homeless on this node before the job is declared Failed; see
+	// SetMigrator. Like the injector it is runner-owned state and is
+	// never serialized into a checkpoint.
+	migrator func(Job) bool
 }
 
 // NewSystem builds a system with the given resource blocks. Block
@@ -476,7 +489,7 @@ func (snap *snapshot) validate() error {
 		return fmt.Errorf("negative delivered-fault count %d", snap.FaultsDelivered)
 	}
 	for id, j := range snap.Jobs {
-		if j.State < Queued || j.State > Failed {
+		if j.State < Queued || j.State > Migrated {
 			return fmt.Errorf("job %d has unknown state %d", id, int(j.State))
 		}
 		if _, ok := snap.Blocks[j.Block]; !ok {

@@ -66,7 +66,7 @@ func Experiments() []string {
 		"fig5", "fig6", "fig7", "fig8",
 		"radabs", "pop", "prodload", "correctness", "io",
 		"multinode", "report", "profile", "crossmachine", "resilience",
-		"serve",
+		"serve", "capacity",
 	}
 }
 
@@ -177,6 +177,15 @@ func RunExperiment(w io.Writer, m Target, id string) error {
 		// — the daemon resolves machines through the registry, and the
 		// artifact pins the wire bytes, not a particular instance.
 		return serve.RenderCanonical(w)
+	case "capacity":
+		// The canonical fleet capacity Monte Carlo. m is unused — the
+		// fleet is resolved from the registry by specification string,
+		// and the table is byte-identical for every worker count.
+		tab, err := ncar.CapacityTable()
+		if err != nil {
+			return err
+		}
+		return core.WriteTable(w, tab)
 	case "profile":
 		for _, res := range []string{"T42L18", "T170L18"} {
 			tab, err := ncar.ProfileTable(m, res, m.Spec().CPUs)
