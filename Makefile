@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short bench-capacity bench-capacity-short ci smoke serve-smoke faults capacity examples figures report clean goldens goldens-check fuzz-smoke cover
+.PHONY: all build vet lint lint-facts test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short bench-capacity bench-capacity-short ci smoke serve-smoke faults capacity examples figures report clean goldens goldens-check fuzz-smoke cover
 
 all: build vet lint test
 
@@ -24,6 +24,13 @@ bin/sx4lint: $(SX4LINT_SRCS)
 
 lint: bin/sx4lint
 	./bin/sx4lint ./...
+	$(MAKE) lint-facts
+
+# lint-facts drives the facts-enabled unitchecker path: go vet invokes
+# bin/sx4lint once per package, threading the gob facts files along
+# the import graph — the mode in which detflow's cross-package taint
+# actually propagates (and the one CI caches per package).
+lint-facts: bin/sx4lint
 	$(GO) vet -vettool=$(abspath bin/sx4lint) ./...
 
 test:

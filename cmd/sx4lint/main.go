@@ -1,7 +1,8 @@
 // sx4lint checks the repository's determinism, layering and
-// golden-stability invariants: five custom analyzers over fully
+// golden-stability invariants: eight custom analyzers over fully
 // type-checked packages (see internal/analysis and DESIGN.md's
-// "Static analysis" section).
+// "Static analysis" section), three of them interprocedural via
+// facts threaded along the import graph.
 //
 // Two modes:
 //

@@ -20,6 +20,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // An Analyzer describes one static check.
@@ -29,6 +30,11 @@ type Analyzer struct {
 	// Doc is the one-paragraph help text: the invariant enforced and
 	// why it exists.
 	Doc string
+	// FactTypes declares the concrete fact types the analyzer may
+	// export or import (each a pointer to a gob-serializable struct,
+	// e.g. (*Nondeterministic)(nil)). Analyzers with no fact types are
+	// purely per-package.
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -45,7 +51,80 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts       *FactStore
+	ignores     map[lineKey]bool
 	diagnostics []Diagnostic
+}
+
+// checkFactType panics unless the analyzer declared fact's concrete
+// type in FactTypes — an undeclared fact is a programming error in the
+// analyzer, not a property of the analyzed code.
+func (p *Pass) checkFactType(fact Fact) {
+	want := reflect.TypeOf(fact)
+	for _, f := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(f) == want {
+			return
+		}
+	}
+	panic(fmt.Sprintf("analysis: analyzer %q uses undeclared fact type %T", p.Analyzer.Name, fact))
+}
+
+// ExportObjectFact attaches fact to a package-level object, making it
+// visible to this analyzer's passes over every package that imports
+// obj's package (in-process via the shared fact store, across vet
+// invocations via the serialized facts files). Objects without a
+// stable path — locals, fields — silently export nothing: an importer
+// could never name them, so no cross-package flow is lost.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.checkFactType(fact)
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	if path, ok := ObjectPath(obj); ok {
+		p.facts.put(p.Analyzer.Name, obj.Pkg().Path(), path, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of fact's concrete type attached to
+// obj into fact, reporting whether one was found. obj is typically an
+// object resolved from this package's view of an import — the (package
+// path, object path) key bridges the identity gap between that view
+// and the source-checked package the fact was exported from.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	p.checkFactType(fact)
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	got, ok := p.facts.get(p.Analyzer.Name, obj.Pkg().Path(), path, factTypeName(fact))
+	if !ok {
+		return false
+	}
+	rv := reflect.ValueOf(fact)
+	gv := reflect.ValueOf(got)
+	if rv.Kind() != reflect.Pointer || gv.Kind() != reflect.Pointer || rv.Type() != gv.Type() {
+		return false
+	}
+	rv.Elem().Set(gv.Elem())
+	return true
+}
+
+// Waived reports whether an //sx4lint:ignore waiver for this analyzer
+// covers pos (on its line or the line above). Run uses the same index
+// to suppress diagnostics; fact-producing analyzers also consult it to
+// stop propagation at a reviewed site — a waived call is an audited
+// assertion that the callee's nondeterminism does not reach this
+// caller's output, so the caller must not inherit the taint.
+func (p *Pass) Waived(pos token.Pos) bool {
+	if p.ignores == nil {
+		return false
+	}
+	at := p.Fset.Position(pos)
+	return p.ignores[lineKey{at.Filename, at.Line, p.Analyzer.Name}] ||
+		p.ignores[lineKey{at.Filename, at.Line - 1, p.Analyzer.Name}]
 }
 
 // Reportf records a diagnostic at pos.

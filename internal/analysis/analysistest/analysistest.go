@@ -16,8 +16,8 @@
 package analysistest
 
 import (
+	"fmt"
 	"go/token"
-	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -25,20 +25,23 @@ import (
 	"sx4bench/internal/analysis"
 )
 
-// Run loads each fixture package and applies the analyzer.
+// Run loads the fixture packages — together, in order, so a later
+// package may import an earlier one — and applies the analyzer in one
+// analysis.Run, which lets // want expectations cover cross-package
+// fact flow: a fact exported from the first fixture package is
+// visible while checking the second.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
 	t.Helper()
-	for _, path := range importPaths {
-		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
-		pkg, err := analysis.LoadFixture(dir, path)
-		if err != nil {
-			t.Fatalf("loading fixture %s: %v", path, err)
-		}
-		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, path, err)
-		}
-		check(t, pkg, diags)
+	pkgs, err := analysis.LoadFixtures(testdata, importPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", importPaths, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, p := range Check(pkgs, diags) {
+		t.Error(p)
 	}
 }
 
@@ -49,24 +52,32 @@ type want struct {
 	hit  bool
 }
 
-func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
-	t.Helper()
+// Check matches diagnostics against the fixtures' // want comments
+// and returns one problem string per mismatch: an "unexpected
+// diagnostic" for every diagnostic no want matches, and a "no
+// diagnostic matching" for every unmatched want. It is the testable
+// seam under Run; an empty result means the fixture is satisfied.
+func Check(pkgs []*analysis.Package, diags []analysis.Diagnostic) []string {
+	var problems []string
 	var wants []*want
-	for _, f := range pkg.Syntax {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				i := strings.Index(text, "want ")
-				if i < 0 || strings.TrimSpace(text[:i]) != "" {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, pat := range quoted(text[i+len("want "):]) {
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					i := strings.Index(text, "want ")
+					if i < 0 || strings.TrimSpace(text[:i]) != "" {
+						continue
 					}
-					wants = append(wants, &want{pos.Filename, pos.Line, re, false})
+					pos := pkg.Fset.Position(c.Pos())
+					for _, pat := range quoted(text[i+len("want "):]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							problems = append(problems, fmt.Sprintf("%s: bad want pattern %q: %v", pos, pat, err))
+							continue
+						}
+						wants = append(wants, &want{pos.Filename, pos.Line, re, false})
+					}
 				}
 			}
 		}
@@ -81,14 +92,16 @@ func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
 			}
 		}
 		if !matched {
-			t.Errorf("unexpected diagnostic: %s", d)
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s: no diagnostic matching %q", token.Position{Filename: w.file, Line: w.line}, w.re)
+			problems = append(problems, fmt.Sprintf("%s: no diagnostic matching %q",
+				token.Position{Filename: w.file, Line: w.line}, w.re))
 		}
 	}
+	return problems
 }
 
 // quoted extracts consecutive double- or back-quoted strings.

@@ -1,0 +1,93 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"sx4bench/internal/analysis"
+	"sx4bench/internal/analysis/analysistest"
+)
+
+// boomer reports "boom" at every identifier named boom, and twice at
+// every identifier named boomtwice — a minimal analyzer for pinning
+// the fixture runner's matching behaviour.
+var boomer = &analysis.Analyzer{
+	Name: "boomer",
+	Doc:  "test analyzer: reports at idents named boom (once) and boomtwice (twice)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch id.Name {
+				case "boom":
+					pass.Reportf(id.Pos(), "boom")
+				case "boomtwice":
+					pass.Reportf(id.Pos(), "boom")
+					pass.Reportf(id.Pos(), "boom")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runBoomer(t *testing.T, importPath string) []string {
+	t.Helper()
+	pkgs, err := analysis.LoadFixtures("testdata", importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", importPath, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{boomer})
+	if err != nil {
+		t.Fatalf("running boomer on %s: %v", importPath, err)
+	}
+	return analysistest.Check(pkgs, diags)
+}
+
+// TestMissingWant covers both mismatch directions at once: a
+// diagnostic with no want is "unexpected", a want with no diagnostic
+// is "no diagnostic matching".
+func TestMissingWant(t *testing.T) {
+	problems := runBoomer(t, "fakemissing")
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2: %q", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], "unexpected diagnostic") {
+		t.Errorf("problem[0] = %q, want an unexpected-diagnostic report", problems[0])
+	}
+	if !strings.Contains(problems[1], `no diagnostic matching "boom"`) {
+		t.Errorf("problem[1] = %q, want an unmatched-want report", problems[1])
+	}
+}
+
+// TestDuplicateDiagnostics: two identical diagnostics at one position
+// are satisfied by two want patterns on the line, each consumed once.
+func TestDuplicateDiagnostics(t *testing.T) {
+	if problems := runBoomer(t, "fakedup"); len(problems) != 0 {
+		t.Fatalf("fixture with matched duplicates reported problems: %q", problems)
+	}
+}
+
+// TestDuplicateUnderCounted: the same duplicate pair against a single
+// want leaves exactly one diagnostic unexpected — duplicates are not
+// silently collapsed.
+func TestDuplicateUnderCounted(t *testing.T) {
+	problems := runBoomer(t, "fakedupshort")
+	if len(problems) != 1 || !strings.Contains(problems[0], "unexpected diagnostic") {
+		t.Fatalf("got %q, want exactly one unexpected-diagnostic report", problems)
+	}
+}
+
+// TestWaiverNameMatching: a waiver naming an unknown analyzer
+// suppresses nothing (its line still diagnoses, and the want matches),
+// while the correctly named waiver removes its diagnostic entirely.
+func TestWaiverNameMatching(t *testing.T) {
+	if problems := runBoomer(t, "fakewaiver"); len(problems) != 0 {
+		t.Fatalf("waiver fixture reported problems: %q", problems)
+	}
+}

@@ -1,0 +1,10 @@
+// Package fakedup expects two identical diagnostics at one position,
+// each consumed by its own want pattern.
+package fakedup
+
+var boomtwice = 1 // want "boom" "boom"
+
+// F references the trigger again, producing a second double report.
+func F() int {
+	return boomtwice // want "boom" "boom"
+}

@@ -1,0 +1,5 @@
+// Package fakedupshort under-declares: two diagnostics land on the
+// line but only one want is present, so one must go unmatched.
+package fakedupshort
+
+var boomtwice = 1 // want "boom"

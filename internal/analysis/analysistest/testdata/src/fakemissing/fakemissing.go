@@ -1,0 +1,7 @@
+// Package fakemissing holds both mismatch directions: a diagnostic
+// with no want comment, and a want comment no diagnostic matches.
+package fakemissing
+
+var boom = 1
+
+var quiet = 2 // want "boom"

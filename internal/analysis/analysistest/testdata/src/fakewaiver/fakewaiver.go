@@ -1,0 +1,11 @@
+// Package fakewaiver pins waiver-name matching: a waiver naming the
+// wrong analyzer suppresses nothing (the diagnostic still fires and
+// needs its want), while a correctly named waiver removes the
+// diagnostic entirely.
+package fakewaiver
+
+//sx4lint:ignore wronganalyzer a waiver for an unknown analyzer must not suppress other analyzers
+var boom = 1 // want "boom"
+
+//sx4lint:ignore boomer fixture demonstrating a correctly named waiver
+var hushed = boom

@@ -1,0 +1,61 @@
+// Package fakerender is a critical fixture package (under
+// sx4bench/internal/core): calling anything tainted is a diagnostic.
+// It imports fakeleaf, so every flagged call here proves a
+// Nondeterministic fact crossed the package boundary.
+package fakerender
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sx4bench/internal/fakeleaf"
+)
+
+// Stamp contains a direct source inside a critical package.
+func Stamp() float64 {
+	return rand.Float64() // want `function Stamp draws from the shared math/rand stream via rand\.Float64`
+}
+
+// RenderHeader reaches the wall clock through an imported function —
+// only the fact exported from fakeleaf can tell.
+func RenderHeader(w io.Writer) {
+	fmt.Fprintf(w, "seed=%d\n", fakeleaf.WallSeed()) // want `calls fakeleaf\.WallSeed, which is nondeterministic: reads the wall clock`
+}
+
+// Wobble reaches the global rand stream through an import.
+func Wobble() float64 {
+	return fakeleaf.Jitter() // want `calls fakeleaf\.Jitter, which is nondeterministic: draws from the shared math/rand stream`
+}
+
+// Deep reaches the wall clock two hops away: fakeleaf.Indirect is
+// only tainted transitively, so this checks the leaf-local fixpoint
+// fed the exported fact.
+func Deep() int64 {
+	return fakeleaf.Indirect() // want `calls fakeleaf\.Indirect, which is nondeterministic: calls fakeleaf\.WallSeed`
+}
+
+// WriteSorted is clean: SortedKeys carries no fact.
+func WriteSorted(w io.Writer, m map[string]int) {
+	for _, k := range fakeleaf.SortedKeys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// WriteTotal is clean: Total carries no fact.
+func WriteTotal(w io.Writer, m map[string]int) {
+	fmt.Fprintf(w, "total=%d\n", fakeleaf.Total(m))
+}
+
+// WriteReviewed calls a tainted function behind an audited waiver.
+// The waiver suppresses the diagnostic AND acts as a taint barrier.
+func WriteReviewed() int64 {
+	//sx4lint:ignore detflow fixture: seed is logged for operators, never rendered into golden output
+	return fakeleaf.WallSeed()
+}
+
+// CallsReviewed proves the barrier: WriteReviewed did not inherit the
+// taint, so this call is clean — no cascade of waivers up the stack.
+func CallsReviewed() int64 {
+	return WriteReviewed()
+}

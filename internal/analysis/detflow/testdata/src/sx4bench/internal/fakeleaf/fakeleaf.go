@@ -1,0 +1,73 @@
+// Package fakeleaf is a non-critical fixture package: its
+// nondeterministic functions produce facts, not diagnostics — except
+// the Fingerprint method, which is critical by name everywhere.
+package fakeleaf
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// WallSeed is tainted directly: it reads the wall clock.
+func WallSeed() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter is tainted directly: it draws from the global rand stream.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Pick is tainted: which branch runs depends on goroutine completion
+// order.
+func Pick(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Keys is tainted: randomized map order leaks into the result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is clean: the collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total is clean: an order-insensitive integer fold.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Indirect is tainted transitively through WallSeed.
+func Indirect() int64 {
+	return WallSeed() + 1
+}
+
+// Thing exists to carry a Fingerprint method.
+type Thing struct{ N int64 }
+
+// Fingerprint is critical by name even in a non-critical package:
+// fingerprints key caches, so they may never wobble.
+func (t Thing) Fingerprint() int64 {
+	return t.N + time.Now().UnixNano() // want `method fakeleaf\.Thing\.Fingerprint reads the wall clock via time\.Now`
+}

@@ -1,0 +1,11 @@
+package floatorder
+
+import (
+	"testing"
+
+	"sx4bench/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "sx4bench/internal/fakesweeper")
+}

@@ -97,18 +97,31 @@ func exportImporter(fset *token.FileSet, exports map[string]string) types.Import
 		}
 		return os.Open(f)
 	})
-	return &fallbackImporter{gc: gc, exports: exports, fakes: map[string]*types.Package{}}
+	return &fallbackImporter{
+		gc:      gc,
+		exports: exports,
+		source:  map[string]*types.Package{},
+		fakes:   map[string]*types.Package{},
+	}
 }
 
 type fallbackImporter struct {
 	gc      types.Importer
 	exports map[string]string
-	fakes   map[string]*types.Package
+	// source holds packages already type-checked from source in this
+	// load group (fixture packages importing earlier fixture packages);
+	// it wins over export data so facts keyed on the source-checked
+	// objects line up with what importers resolve.
+	source map[string]*types.Package
+	fakes  map[string]*types.Package
 }
 
 func (fi *fallbackImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if p, ok := fi.source[path]; ok {
+		return p, nil
 	}
 	if _, ok := fi.exports[path]; ok {
 		return fi.gc.Import(path)
@@ -171,28 +184,57 @@ func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, 
 // becomes an empty placeholder, so fixtures may import fictional
 // paths as long as they only blank-import them.
 func LoadFixture(dir, importPath string) (*Package, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
-	if err != nil || len(matches) == 0 {
-		return nil, fmt.Errorf("analysis: no fixture files in %s", dir)
+	// dir is testdata/src/<importPath>; recover the testdata root.
+	testdata := dir
+	for range strings.Split(importPath, "/") {
+		testdata = filepath.Dir(testdata)
 	}
-	for i, m := range matches {
-		if abs, err := filepath.Abs(m); err == nil {
-			matches[i] = abs
-		}
+	testdata = filepath.Dir(testdata) // strip "src"
+	pkgs, err := LoadFixtures(testdata, importPath)
+	if err != nil {
+		return nil, err
 	}
-	fset := token.NewFileSet()
+	return pkgs[0], nil
+}
+
+// LoadFixtures loads several fixture packages from a GOPATH-shaped
+// testdata tree (testdata/src/<importPath>/*.go) into one shared
+// FileSet, in the given order. A later package may import an earlier
+// one — the import resolves to the source-checked earlier package, the
+// setup that lets fixture tests exercise cross-package fact flow.
+func LoadFixtures(testdata string, importPaths ...string) ([]*Package, error) {
+	fixture := map[string]bool{}
+	for _, ip := range importPaths {
+		fixture[ip] = true
+	}
+
+	files := make([][]string, len(importPaths))
 	var imports []string
 	seen := map[string]bool{}
-	for _, m := range matches {
-		f, err := parser.ParseFile(fset, m, nil, parser.ImportsOnly)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: %v", err)
+	scanFset := token.NewFileSet()
+	for i, ip := range importPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(ip))
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil || len(matches) == 0 {
+			return nil, fmt.Errorf("analysis: no fixture files in %s", dir)
 		}
-		for _, spec := range f.Imports {
-			path := strings.Trim(spec.Path.Value, `"`)
-			if !seen[path] {
-				seen[path] = true
-				imports = append(imports, path)
+		for j, m := range matches {
+			if abs, err := filepath.Abs(m); err == nil {
+				matches[j] = abs
+			}
+		}
+		files[i] = matches
+		for _, m := range matches {
+			f, err := parser.ParseFile(scanFset, m, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if !seen[path] && !fixture[path] {
+					seen[path] = true
+					imports = append(imports, path)
+				}
 			}
 		}
 	}
@@ -200,12 +242,22 @@ func LoadFixture(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset = token.NewFileSet()
-	pkg, err := typecheck(fset, exportImporter(fset, exports), importPath, dir, matches, false)
-	if err != nil {
-		return nil, err
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports).(*fallbackImporter)
+	pkgs := make([]*Package, len(importPaths))
+	for i, ip := range importPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(ip))
+		pkg, err := typecheck(fset, imp, ip, dir, files[i], false)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types != nil {
+			imp.source[ip] = pkg.Types
+		}
+		pkgs[i] = pkg
 	}
-	return pkg, nil
+	return pkgs, nil
 }
 
 // stdExports runs `go list -export` for the given (stdlib) import

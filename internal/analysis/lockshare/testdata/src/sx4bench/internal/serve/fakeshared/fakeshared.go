@@ -1,0 +1,156 @@
+// Package fakeshared exercises every lockshare rule: it lives under
+// the sx4bench/internal/serve prefix, so it is in scope.
+package fakeshared
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBoom = errors.New("boom")
+
+// Counter is self-guarded: it carries its own mutex, so sibling
+// fields are shared state.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+	m  map[string]int
+}
+
+// NewCounter writes fields before the value is shared: constructor
+// writes are exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	c.m = map[string]int{}
+	return c
+}
+
+// Inc writes under the guard.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Reset writes a guarded sibling field with no lock in sight.
+func (c *Counter) Reset() {
+	c.n = 0 // want `write to Counter\.n without locking c\.mu first`
+}
+
+// resetLocked documents via its name that the caller holds the lock.
+func (c *Counter) resetLocked() {
+	c.n = 0
+}
+
+// Put writes the map field under the guard.
+func (c *Counter) Put(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = v
+}
+
+// BadPut writes through the map field unguarded.
+func (c *Counter) BadPut(k string, v int) {
+	c.m[k] = v // want `write to Counter\.m without locking c\.mu first`
+}
+
+// Value copies the whole counter — lock included — on every call.
+func (c Counter) Value() int { // want `value receiver of lock-containing type Counter`
+	return c.n
+}
+
+// Sum takes the counter by value, copying the lock.
+func Sum(c Counter) int { // want `parameter of lock-containing type Counter is passed by value`
+	return c.n
+}
+
+// Snapshot copies the counter out from under its own mutex.
+func Snapshot(c *Counter) int {
+	v := *c // want `assignment copies lock-containing value of type Counter`
+	return v.n
+}
+
+// Each copies every element — and its lock — into the range variable.
+func Each(cs []Counter) int {
+	t := 0
+	for _, c := range cs { // want `range clause copies lock-containing elements of type Counter`
+		t += c.n
+	}
+	return t
+}
+
+// Risky leaves the mutex held on the error path.
+func (c *Counter) Risky(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		return errBoom // want `return with c\.mu still held`
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Safe releases on every path without defer: clean.
+func (c *Counter) Safe(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errBoom
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Spawner launches goroutines that share state with their parent.
+type Spawner struct {
+	mu   sync.Mutex
+	hits map[string]int
+}
+
+// Launch shows the two unguarded captured writes: a captured integer
+// and a captured map field.
+func (s *Spawner) Launch(total *int) {
+	go func() {
+		*total = *total + 1 // want `goroutine writes captured variable total without locking`
+	}()
+	go func() {
+		s.hits["x"]++ // want `goroutine writes captured map s without locking` `write to Spawner\.hits without locking s\.mu first`
+	}()
+}
+
+// LaunchGuarded locks inside the goroutine before writing: clean.
+func (s *Spawner) LaunchGuarded() {
+	go func() {
+		s.mu.Lock()
+		s.hits["x"]++
+		s.mu.Unlock()
+	}()
+}
+
+// Fill uses the sched worker idiom — each goroutine owns one slice
+// element — which is the sanctioned unguarded write.
+func Fill(results []float64) {
+	for i := range results {
+		go func(i int) {
+			results[i] = 1.5
+		}(i)
+	}
+}
+
+// Package-level state guarded by a package-level mutex.
+var (
+	regMu sync.Mutex
+	reg   = map[string]int{}
+)
+
+// Register writes the global under the package mutex.
+func Register(k string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	reg[k] = 1
+}
+
+// BadRegister skips the package mutex.
+func BadRegister(k string) {
+	reg[k] = 1 // want `write to package-level reg without holding the package mutex`
+}

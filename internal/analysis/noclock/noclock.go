@@ -20,11 +20,18 @@ var forbidden = map[string]bool{
 	"Now":   true,
 	"Since": true,
 	"Until": true,
+	// Timers are wall-clock reads in disguise: when they fire depends
+	// on host scheduling, not model time.
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
 }
 
 var Analyzer = &analysis.Analyzer{
 	Name: "noclock",
-	Doc:  "forbid time.Now/time.Since/time.Until in the simulated-time packages (sx4bench/internal/...)",
+	Doc:  "forbid time.Now/Since/Until and wall-clock timers (Tick/After/AfterFunc/NewTicker/NewTimer) in the simulated-time packages (sx4bench/internal/...)",
 	Run:  run,
 }
 

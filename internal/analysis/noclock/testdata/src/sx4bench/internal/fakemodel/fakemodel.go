@@ -22,3 +22,15 @@ func waived() time.Time {
 	//sx4lint:ignore noclock fixture demonstrating an explicit waiver
 	return time.Now()
 }
+
+// Timers are clock reads in disguise: when they fire depends on host
+// scheduling, not model time.
+func timers() {
+	_ = time.Tick(time.Second)            // want `wall-clock time\.Tick`
+	_ = time.After(time.Second)           // want `wall-clock time\.After`
+	_ = time.AfterFunc(time.Second, noop) // want `wall-clock time\.AfterFunc`
+	_ = time.NewTicker(time.Second)       // want `wall-clock time\.NewTicker`
+	_ = time.NewTimer(time.Second)        // want `wall-clock time\.NewTimer`
+}
+
+func noop() {}

@@ -8,6 +8,8 @@ import (
 
 // Run applies every analyzer to every package and returns the
 // surviving diagnostics in (file, line, column, analyzer) order.
+// Packages are visited in topological import order, so a fact exported
+// from a leaf package is visible when its importers are analyzed.
 // A diagnostic is suppressed by a comment
 //
 //	//sx4lint:ignore <analyzer> <reason>
@@ -15,8 +17,16 @@ import (
 // on the reported line or the line immediately above it; the reason is
 // mandatory so every waiver documents itself.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunFacts(pkgs, analyzers, NewFactStore())
+}
+
+// RunFacts is Run with a caller-supplied fact store: facts already in
+// the store (deserialized from dependency facts files in vettool mode)
+// are visible to the analyzers, and facts they export accumulate into
+// it for the caller to serialize.
+func RunFacts(pkgs []*Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range topoOrder(pkgs) {
 		ignores := ignoreLines(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -25,6 +35,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				facts:     facts,
+				ignores:   ignores,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
@@ -59,6 +71,49 @@ type lineKey struct {
 	file     string
 	line     int
 	analyzer string
+}
+
+// topoOrder sorts the packages so every package follows the loaded
+// packages it imports — the order facts must flow in. Ties (and the
+// traversal itself) break on import path, so the order is
+// deterministic regardless of the input order. Only edges between
+// loaded packages count; imports resolved from export data or
+// placeholders carry no facts of their own to wait for.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(pkgs))
+	visited := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		if visited[path] {
+			return
+		}
+		visited[path] = true
+		pkg := byPath[path]
+		if pkg.Types != nil {
+			var deps []string
+			for _, imp := range pkg.Types.Imports() {
+				if _, ok := byPath[imp.Path()]; ok {
+					deps = append(deps, imp.Path())
+				}
+			}
+			sort.Strings(deps)
+			for _, d := range deps {
+				visit(d)
+			}
+		}
+		out = append(out, pkg)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return out
 }
 
 // ignoreLines indexes every sx4lint:ignore comment by (file, line,

@@ -28,3 +28,24 @@ func Bad(dst []float64) int {
 func BadV2() int {
 	return randv2.IntN(4) // want `global math/rand/v2\.IntN`
 }
+
+// The v2 package's top-level draws are auto-seeded too; every entry
+// point is forbidden, not just IntN.
+func BadV2More(dst []float64) {
+	for i := range dst {
+		dst[i] = randv2.Float64() // want `global math/rand/v2\.Float64`
+	}
+	randv2.Shuffle(len(dst), func(i, j int) { // want `global math/rand/v2\.Shuffle`
+		dst[i], dst[j] = dst[j], dst[i]
+	})
+	_ = randv2.Perm(4) // want `global math/rand/v2\.Perm`
+}
+
+// A v2 generator over an explicit PCG seed is the sanctioned form —
+// constructors are not draws.
+func FillV2(dst []float64, seed uint64) {
+	rng := randv2.New(randv2.NewPCG(seed, seed^0x9e3779b9))
+	for i := range dst {
+		dst[i] = rng.Float64()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -30,10 +31,18 @@ type VetConfig struct {
 }
 
 // RunVetCfg executes the analyzers on the single package described by
-// the .cfg file, in the way `go vet -vettool=sx4lint` drives it. The
-// (empty) facts file the go command expects is always written; test
-// package variants are skipped, since sx4lint's invariants exempt
-// test code.
+// the .cfg file, in the way `go vet -vettool=sx4lint` drives it.
+//
+// Facts flow through the unitchecker protocol for real: the facts
+// files of every dependency (cfg.PackageVetx) are merged into the
+// store before analysis, and the facts exported while analyzing this
+// package are serialized to cfg.VetxOutput — validated by a full
+// write → reread → re-encode round-trip, since a corrupt facts file
+// would silently blind every downstream package. Every exit path that
+// succeeds writes a decodable facts file, including the skipped ones
+// (test package variants, standard-library dependencies): the go
+// command requires the file to exist, and downstream merges must be
+// able to read it.
 func RunVetCfg(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -43,16 +52,50 @@ func RunVetCfg(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("sx4lint: parsing vet config %s: %v", cfgPath, err)
 	}
-	// The go command requires the facts file to exist after a clean
-	// exit; sx4lint's analyzers neither produce nor consume facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, err
+	RegisterFactTypes(analyzers)
+	store := NewFactStore()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for dep := range cfg.PackageVetx {
+		depPaths = append(depPaths, dep)
+	}
+	sort.Strings(depPaths)
+	for _, dep := range depPaths {
+		if err := store.ReadFile(cfg.PackageVetx[dep]); err != nil {
+			return nil, fmt.Errorf("sx4lint: facts of dependency %s: %v", dep, err)
 		}
 	}
-	if cfg.VetxOnly || strings.ContainsAny(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
-		return nil, nil
+	writeFacts := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return store.WriteFileValidated(cfg.VetxOutput)
 	}
+
+	// Test package variants ("pkg [pkg.test]", "pkg.test") and
+	// anything outside the module are out of sx4lint's scope: the
+	// invariants are production-code invariants, and every
+	// nondeterminism source outside the module is matched
+	// intrinsically (time.Now, math/rand, ...) rather than by taint
+	// through its internals — analyzing, say, math/rand from source
+	// would tag its own seeded constructors nondeterministic.
+	// (cfg.Standard cannot carry this decision: it lists a package's
+	// standard-library *imports*, not the package itself.)
+	if strings.ContainsAny(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") ||
+		(cfg.ImportPath != "sx4bench" && !strings.HasPrefix(cfg.ImportPath, "sx4bench/")) {
+		return nil, writeFacts()
+	}
+
+	run := analyzers
+	if cfg.VetxOnly {
+		// A dependency analyzed only for its facts: run just the
+		// fact-producing analyzers and report nothing — its own
+		// diagnostics belong to the vet invocation rooted at it.
+		run = FactProducers(analyzers)
+		if len(run) == 0 {
+			return nil, writeFacts()
+		}
+	}
+
 	var files []string
 	for _, f := range cfg.GoFiles {
 		if !strings.HasSuffix(f, "_test.go") {
@@ -60,7 +103,7 @@ func RunVetCfg(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	if len(files) == 0 {
-		return nil, nil
+		return nil, writeFacts()
 	}
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, vetExports(cfg))
@@ -68,7 +111,14 @@ func RunVetCfg(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Run([]*Package{pkg}, analyzers)
+	diags, err := RunFacts([]*Package{pkg}, run, store)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		diags = nil
+	}
+	return diags, writeFacts()
 }
 
 // vetExports flattens the config's ImportMap/PackageFile pair into

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"os/exec"
@@ -10,6 +11,7 @@ import (
 
 	"sx4bench/internal/analysis"
 	"sx4bench/internal/analysis/noclock"
+	"sx4bench/internal/analysis/sx4lint"
 )
 
 // TestRunVetCfg drives the unitchecker protocol the way `go vet
@@ -64,12 +66,11 @@ func Start() time.Time { return time.Now() }
 	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Now") {
 		t.Fatalf("want one time.Now diagnostic, got %v", diags)
 	}
-	if _, err := os.Stat(vetx); err != nil {
-		t.Errorf("facts file not written: %v", err)
-	}
+	requireFactsRoundTrip(t, vetx)
 
 	// Test-package variants are skipped wholesale but still get a
-	// facts file (the go command requires one).
+	// facts file (the go command requires one), and that file must be
+	// decodable and round-trip like any other.
 	cfg.ImportPath = "sx4bench/internal/fakemodel [sx4bench/internal/fakemodel.test]"
 	cfg.VetxOutput = filepath.Join(dir, "test.vetx")
 	data, _ = json.Marshal(cfg)
@@ -80,7 +81,146 @@ func Start() time.Time { return time.Now() }
 	if err != nil || len(diags) != 0 {
 		t.Fatalf("test variant: want no diagnostics, got %v, %v", diags, err)
 	}
-	if _, err := os.Stat(cfg.VetxOutput); err != nil {
-		t.Errorf("facts file not written for test variant: %v", err)
+	requireFactsRoundTrip(t, cfg.VetxOutput)
+}
+
+// requireFactsRoundTrip asserts a facts file exists, decodes, and
+// re-encodes to the identical bytes — the write → reread → identical
+// contract every RunVetCfg exit path must honour.
+func requireFactsRoundTrip(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+	recs, err := analysis.DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("facts file %s does not decode: %v", path, err)
+	}
+	store := analysis.NewFactStore()
+	if err := store.ReadFile(path); err != nil {
+		t.Fatalf("facts file %s does not reread: %v", path, err)
+	}
+	if store.Len() != len(recs) {
+		t.Fatalf("facts file %s: reread %d facts, decoded %d", path, store.Len(), len(recs))
+	}
+	reencoded, err := store.Encode()
+	if err != nil {
+		t.Fatalf("facts from %s do not re-encode: %v", path, err)
+	}
+	if len(data) == 0 && store.Len() == 0 {
+		return // the canonical empty facts file
+	}
+	if !bytes.Equal(data, reencoded) {
+		t.Fatalf("facts file %s does not round-trip: %d bytes on disk, %d re-encoded", path, len(data), len(reencoded))
+	}
+}
+
+// TestVetFactsCrossPackage drives two chained RunVetCfg invocations
+// over a real two-package module — the full unitchecker facts
+// protocol: the leaf package's detflow facts are serialized to its
+// VetxOutput, handed to the consumer via PackageVetx, and surface as
+// a diagnostic at the consumer's call site in a critical package.
+func TestVetFactsCrossPackage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module sx4bench\n\ngo 1.24\n")
+	write("internal/fakeleafdet/leaf.go", `package fakeleafdet
+
+import "time"
+
+func WallSeed() int64 { return time.Now().UnixNano() }
+`)
+	write("internal/core/fakeconsumer/consumer.go", `package fakeconsumer
+
+import "sx4bench/internal/fakeleafdet"
+
+func Render() int64 { return fakeleafdet.WallSeed() }
+`)
+
+	// Compile both packages so export data exists, as the go command
+	// would have before invoking the vettool.
+	cmd := exec.Command("go", "list", "-e", "-export", "-f", "{{.ImportPath}} {{.Export}}", "-deps", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export in module: %v", err)
+	}
+	packageFile := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if path, file, ok := strings.Cut(line, " "); ok && file != "" {
+			packageFile[path] = file
+		}
+	}
+
+	runCfg := func(cfg analysis.VetConfig) []analysis.Diagnostic {
+		t.Helper()
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgPath := filepath.Join(dir, analysis.PathBase(cfg.ImportPath)+".cfg")
+		if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		diags, err := analysis.RunVetCfg(cfgPath, sx4lint.Analyzers())
+		if err != nil {
+			t.Fatalf("RunVetCfg(%s): %v", cfg.ImportPath, err)
+		}
+		return diags
+	}
+
+	// Invocation 1: the leaf, facts-only (how go vet analyzes deps).
+	leafVetx := filepath.Join(dir, "leaf.vetx")
+	diags := runCfg(analysis.VetConfig{
+		ID:          "sx4bench/internal/fakeleafdet",
+		Compiler:    "gc",
+		Dir:         filepath.Join(dir, "internal", "fakeleafdet"),
+		ImportPath:  "sx4bench/internal/fakeleafdet",
+		GoFiles:     []string{filepath.Join(dir, "internal", "fakeleafdet", "leaf.go")},
+		PackageFile: packageFile,
+		VetxOnly:    true,
+		VetxOutput:  leafVetx,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("VetxOnly leaf reported diagnostics: %v", diags)
+	}
+	requireFactsRoundTrip(t, leafVetx)
+	store := analysis.NewFactStore()
+	if err := store.ReadFile(leafVetx); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("leaf facts file holds no facts; expected a Nondeterministic fact for WallSeed")
+	}
+
+	// Invocation 2: the consumer, with the leaf's facts wired in the
+	// way the go command threads PackageVetx.
+	diags = runCfg(analysis.VetConfig{
+		ID:          "sx4bench/internal/core/fakeconsumer",
+		Compiler:    "gc",
+		Dir:         filepath.Join(dir, "internal", "core", "fakeconsumer"),
+		ImportPath:  "sx4bench/internal/core/fakeconsumer",
+		GoFiles:     []string{filepath.Join(dir, "internal", "core", "fakeconsumer", "consumer.go")},
+		PackageFile: packageFile,
+		PackageVetx: map[string]string{"sx4bench/internal/fakeleafdet": leafVetx},
+		VetxOutput:  filepath.Join(dir, "consumer.vetx"),
+	})
+	var hits []string
+	for _, d := range diags {
+		if d.Analyzer == "detflow" {
+			hits = append(hits, d.Message)
+		}
+	}
+	if len(hits) != 1 || !strings.Contains(hits[0], "fakeleafdet.WallSeed") || !strings.Contains(hits[0], "wall clock") {
+		t.Fatalf("want one detflow diagnostic naming fakeleafdet.WallSeed's wall-clock taint, got %q (all: %v)", hits, diags)
 	}
 }

@@ -165,3 +165,22 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	})
 	return out, err
 }
+
+// SumOrdered computes fn(0)+fn(1)+...+fn(n-1) on a bounded pool with a
+// fixed-order reduction: the values are computed in parallel, then
+// folded serially in index order, so the sum is bit-identical for any
+// worker count. This is the sanctioned way to reduce floats from a
+// parallel sweep — a shared `sum += ...` accumulator inside the
+// callback would add in completion order, and float addition is not
+// associative, so the total would wobble between runs and un-pin
+// goldens (the floatorder analyzer flags exactly that pattern).
+func SumOrdered(workers, n int, fn func(i int) float64) float64 {
+	vals, _ := Map(workers, n, func(i int) (float64, error) {
+		return fn(i), nil
+	})
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

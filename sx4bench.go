@@ -176,6 +176,8 @@ func RunExperiment(w io.Writer, m Target, id string) error {
 		// for the full suite on the flagship configuration. m is unused
 		// — the daemon resolves machines through the registry, and the
 		// artifact pins the wire bytes, not a particular instance.
+		//
+		//sx4lint:ignore detflow the selects in serve gate execution scheduling (semaphore vs ctx) only; the response bytes are content-addressed, cached by fingerprint, and pinned by the serve golden
 		return serve.RenderCanonical(w)
 	case "capacity":
 		// The canonical fleet capacity Monte Carlo. m is unused — the
