@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-facts test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short bench-capacity bench-capacity-short ci smoke serve-smoke faults capacity examples figures report clean goldens goldens-check fuzz-smoke cover
+.PHONY: all build vet lint lint-facts test test-short race race-full bench bench-baseline bench-sweep bench-sweep-short bench-capacity bench-capacity-short ci smoke serve-smoke warm-restart-smoke chaos faults capacity examples figures report clean goldens goldens-check fuzz-smoke cover
 
 all: build vet lint test
 
@@ -55,8 +55,9 @@ bench:
 # the resilience smoke, the fleet capacity smoke (golden-pinned
 # capacity artifact plus a live -fleet run), the cold-sweep and
 # capacity scaling smokes (1k memo-cold scenarios each, checksums
-# cross-checked), and the sx4d daemon smoke (live /healthz and
-# golden-pinned /v1/run over real HTTP).
+# cross-checked), the sx4d daemon smoke (live /healthz and
+# golden-pinned /v1/run over real HTTP), the seeded chaos soak, and
+# the cache warm-restart smoke (SIGTERM → snapshot → reboot → hit).
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -73,6 +74,8 @@ ci:
 	$(MAKE) bench-sweep-short
 	$(MAKE) bench-capacity-short
 	$(MAKE) serve-smoke
+	$(MAKE) chaos
+	$(MAKE) warm-restart-smoke
 
 # Cross-machine smoke: one line of scalar anchors per registered
 # machine, exercising the Target registry end to end.
@@ -87,6 +90,28 @@ bin/sx4d: go.mod $(wildcard cmd/sx4d/*.go) $(shell find internal -name '*.go' -n
 
 serve-smoke: bin/sx4d
 	./scripts/serve_smoke.sh
+
+# The resilient daemon client; built alongside sx4d for the smokes.
+bin/sx4ctl: go.mod $(wildcard cmd/sx4ctl/*.go) $(shell find internal -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
+	$(GO) build -o $@ ./cmd/sx4ctl
+
+# Warm-restart smoke: boot sx4d with a snapshot file, answer the
+# canonical query through sx4ctl (a miss), SIGTERM the daemon (drain
+# writes the snapshot), boot a second daemon from the same file, and
+# require the same query to be an exact cache hit with a
+# byte-identical body.
+warm-restart-smoke: bin/sx4d bin/sx4ctl
+	./scripts/warm_restart_smoke.sh
+
+# Deterministic chaos soak: hammer an sx4d instance through a seeded
+# fault-injecting middleware (latency, 503s, slow bodies, cancelled
+# contexts) and assert the invariants — no lost responses, admission
+# books balance, gauges return to zero, snapshot stays deterministic,
+# no goroutine leaks — at every seed. Override the seed list with
+# CHAOS_SEEDS=7,8,9.
+CHAOS_SEEDS ?= 1,2,3
+chaos:
+	$(GO) test ./internal/chaos -race -count=1 -chaos.seeds $(CHAOS_SEEDS)
 
 # Resilience smoke: the canonical fault schedule across sx4-1, sx4-32
 # and c90 — the resilience artifact must match its golden, no machine
@@ -122,6 +147,7 @@ fuzz-smoke:
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzMachineRun$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzReportParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzCacheSnapshotLoad$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fault -run '^$$' -fuzz '^FuzzFaultPlanParse$$' -fuzztime $(FUZZTIME)
 
 # Aggregate statement coverage across all packages.

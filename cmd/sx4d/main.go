@@ -48,6 +48,10 @@ func run() int {
 	maxconcurrent := flag.Int("maxconcurrent", 0, "max simultaneous simulation executions (0 = default)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-time bound (0 = none)")
 	maxbody := flag.Int64("maxbody", 0, "request body size cap in bytes (0 = default)")
+	queuewait := flag.Duration("queuewait", 0, "max admission-queue wait before 503 (0 = request deadline only)")
+	queuedepth := flag.Int("queuedepth", 0, "admission queue depth per endpoint class (0 = default)")
+	cachefile := flag.String("cache", "", "cache snapshot path: warm-start from it on boot, write it on drain (empty = no persistence)")
+	snapinterval := flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence when -cache is set")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "sx4d: unexpected arguments: %v\n", flag.Args())
@@ -69,16 +73,68 @@ func run() int {
 	}
 	fmt.Printf("sx4d listening on %s\n", bound)
 
-	hs := &http.Server{Handler: serve.New(serve.Config{
+	srv := serve.New(serve.Config{
 		MaxConcurrent:  *maxconcurrent,
 		MaxBodyBytes:   *maxbody,
 		RequestTimeout: *timeout,
+		QueueWait:      *queuewait,
+		QueueDepth:     *queuedepth,
 		Now:            time.Now,
-	})}
+	})
+	if *cachefile != "" {
+		// Warm-start before serving: a damaged snapshot is logged and
+		// ignored (serve cold, overwrite it at the next snapshot) — the
+		// daemon must come up even when its disk state does not.
+		n, err := srv.LoadSnapshot(*cachefile)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "sx4d: ignoring snapshot: %v\n", err)
+		case n > 0:
+			fmt.Printf("sx4d restored %d cached responses from %s\n", n, *cachefile)
+		}
+	}
+
+	hs := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+
+	// Periodic snapshots bound the cache lost to a hard kill to one
+	// interval; the on-drain snapshot below makes a clean stop lossless.
+	snapdone := make(chan struct{})
+	if *cachefile != "" && *snapinterval > 0 {
+		ticker := time.NewTicker(*snapinterval)
+		go func() {
+			defer close(snapdone)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := srv.WriteSnapshot(*cachefile); err != nil {
+						fmt.Fprintf(os.Stderr, "sx4d: snapshot: %v\n", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	} else {
+		close(snapdone)
+	}
+
+	// drain snapshots the final state once serving has stopped, so the
+	// file on disk reflects every query the daemon ever answered.
+	drain := func() {
+		<-snapdone
+		if *cachefile == "" {
+			return
+		}
+		if err := srv.WriteSnapshot(*cachefile); err != nil {
+			fmt.Fprintf(os.Stderr, "sx4d: final snapshot: %v\n", err)
+		}
+	}
+
 	select {
 	case <-ctx.Done():
 		// Graceful drain: stop accepting, let in-flight queries finish.
@@ -86,11 +142,14 @@ func run() int {
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
 			fmt.Fprintf(os.Stderr, "sx4d: shutdown: %v\n", err)
+			drain()
 			return 1
 		}
+		drain()
 		fmt.Println("sx4d stopped")
 		return 0
 	case err := <-errc:
+		drain()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "sx4d: %v\n", err)
 			return 1

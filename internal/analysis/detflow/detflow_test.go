@@ -11,6 +11,7 @@ func TestFixtures(t *testing.T) {
 	analysistest.Run(t, "testdata", Analyzer,
 		"sx4bench/internal/fakeleaf",
 		"sx4bench/internal/core/fakerender",
+		"sx4bench/internal/fakebackoff",
 	)
 }
 

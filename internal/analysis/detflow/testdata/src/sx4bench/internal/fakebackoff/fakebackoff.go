@@ -1,0 +1,38 @@
+// Package fakebackoff is a detflow fixture mirroring the resilient
+// client's jitter (internal/client): seeded SplitMix64 jitter is a
+// pure function and carries no fact, global-rand jitter is tainted,
+// and a Fingerprint that folds the shared stream in is a diagnostic
+// even out here — fingerprints key the daemon's cache, so a wobbling
+// one would silently split cache entries.
+package fakebackoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is clean: the wait is a pure function of (seed, attempt), the
+// property the thundering-herd test pins.
+func Jitter(seed uint64, attempt int) time.Duration {
+	x := seed + 0x9e3779b97f4a7c15*uint64(attempt)
+	x ^= x >> 31
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return time.Duration(x % uint64(time.Second))
+}
+
+// HerdJitter is tainted (fact, not diagnostic — this is not a
+// critical package): it draws from the shared global stream, so two
+// runs of the same client schedule different retries.
+func HerdJitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second)))
+}
+
+// Key exists to carry a Fingerprint method.
+type Key struct{ Seed uint64 }
+
+// Fingerprint is critical by name even in a leaf package: cache keys
+// may never wobble between runs.
+func (k Key) Fingerprint() uint64 {
+	return k.Seed ^ uint64(rand.Int63()) // want `method fakebackoff\.Key\.Fingerprint draws from the shared math/rand stream via rand\.Int63`
+}

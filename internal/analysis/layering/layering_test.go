@@ -14,5 +14,6 @@ func TestLayering(t *testing.T) {
 		"sx4bench/internal/fleet",
 		"sx4bench/internal/machine",
 		"sx4bench/internal/serve",
+		"sx4bench/internal/fakectl",
 	)
 }

@@ -1,0 +1,12 @@
+// Package fakectl is a layering fixture mirroring the sx4ctl client
+// stack (internal/client + cmd/sx4ctl): clients live above the model
+// layer and speak the daemon's wire vocabulary. Reaching into a
+// concrete model from a client — say, to "predict" an answer locally
+// instead of asking the daemon — would bypass both the registry and
+// the server's cache, so it is flagged like any other layer breach.
+package fakectl
+
+import (
+	_ "sx4bench/internal/machine" // want `import of sx4bench/internal/machine \(the concrete comparator models\) above the model layer`
+	_ "sx4bench/internal/serve"   // the wire vocabulary: requests, responses, stats
+)

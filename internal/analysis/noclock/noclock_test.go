@@ -11,6 +11,8 @@ func TestNoClock(t *testing.T) {
 	analysistest.Run(t, "testdata", noclock.Analyzer,
 		"sx4bench/internal/fakemodel",
 		"sx4bench/internal/fault",
+		"sx4bench/internal/fakeclient",
+		"sx4bench/internal/fakechaos",
 		"sx4bench/cmd/fakecli",
 	)
 }

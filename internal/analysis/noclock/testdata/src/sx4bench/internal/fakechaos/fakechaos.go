@@ -1,0 +1,24 @@
+// Package fakechaos is a noclock fixture mirroring the chaos harness
+// (internal/chaos): injected latency stalls a goroutine with
+// time.Sleep, which is legal — sleeping reads no clock and produces
+// no bytes, and the stall length came from the seeded plan — but
+// scheduling wall-clock timers without a waiver is still flagged.
+package fakechaos
+
+import "time"
+
+// Inject stalls the request by the planned amount. The duration is a
+// pure function of (seed, ordinal); only the waiting itself touches
+// the host scheduler, which noclock permits.
+func Inject(d time.Duration) {
+	time.Sleep(d)
+}
+
+// drip is the forbidden variant: a ticker is a wall-clock read in
+// disguise, so trickling bytes on host time needs either a waiver or
+// (as internal/chaos does) a plain counter with no timer at all.
+func drip() {
+	_ = time.NewTicker(time.Millisecond) // want `wall-clock time\.NewTicker`
+}
+
+var _ = drip

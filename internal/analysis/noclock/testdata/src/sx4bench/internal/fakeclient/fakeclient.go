@@ -1,0 +1,48 @@
+// Package fakeclient is a noclock fixture mirroring the resilient
+// daemon client (internal/client): retry jitter must be a pure
+// function of (seed, attempt) so fleets of clients are replayable,
+// the one sanctioned wall-clock timer that paces the actual waiting
+// carries an audited waiver, and any unwaived clock read is still
+// flagged.
+package fakeclient
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff is legal: pure duration arithmetic, no clock anywhere. The
+// wait for a given (seed, attempt) is the same in every run — this is
+// what keeps retry schedules out of the goldens' way.
+func Backoff(seed uint64, attempt int) time.Duration {
+	cap := 100 * time.Millisecond
+	for i := 1; i < attempt && cap < 5*time.Second; i++ {
+		cap *= 2
+	}
+	return cap/2 + time.Duration(seed%uint64(cap/2))
+}
+
+// sleepWall performs the wait. Arming a timer is a wall-clock act, so
+// it needs the waiver — sanctioned because the duration was computed
+// deterministically above and no result byte depends on when the
+// timer actually fires.
+func sleepWall(ctx context.Context, d time.Duration) error {
+	//sx4lint:ignore noclock backoff wait is wall-clock scheduling, never shapes a result byte
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// deadline is the forbidden shortcut: deriving retry state from the
+// host clock instead of the request context.
+func deadline() time.Time {
+	return time.Now() // want `wall-clock time\.Now in simulated-time package`
+}
+
+var _ = sleepWall
+var _ = deadline

@@ -1,6 +1,7 @@
 package ncar
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -61,12 +62,29 @@ func ioHeadlines() (disk, hippi, netMax float64) {
 	return ioRates.disk, ioRates.hippi, ioRates.netMax
 }
 
+// abandoned maps a dead context to the measurement-layer error shape:
+// the caller's deadline or cancellation wraps through, so servers can
+// classify abandoned work with errors.Is against the context sentinels.
+func abandoned(ctx context.Context, name string) error {
+	return fmt.Errorf("ncar: measurement %q abandoned: %w", name, context.Cause(ctx))
+}
+
 // Measure executes one suite member on the target and returns its
 // structured result. cpus <= 0 means the machine's full CPU count.
 // The evaluation is deterministic: a single model run per headline
 // number, no KTRIES jitter, so repeated calls are byte-identical once
 // rendered.
-func Measure(m target.Target, name string, cpus int) (Measurement, error) {
+//
+// ctx bounds the host-side work, not the simulated clock: a cancelled
+// or expired context abandons the measurement before it starts (and,
+// in the suite forms, between members), which is how the sx4d daemon
+// stops paying for queries whose clients have hung up. ctx never
+// shapes a result byte — a measurement either completes exactly as it
+// would have, or does not happen.
+func Measure(ctx context.Context, m target.Target, name string, cpus int) (Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return Measurement{}, abandoned(ctx, name)
+	}
 	if m == nil {
 		return Measurement{}, fmt.Errorf("ncar: nil target for measurement %q", name)
 	}
@@ -147,15 +165,18 @@ func Measure(m target.Target, name string, cpus int) (Measurement, error) {
 // MeasureSuite measures the named members (nil or empty = the whole
 // suite, in paper order) with suite-level parallelism. workers follows
 // the sched convention (0 = GOMAXPROCS, 1 = serial); the result slice
-// is in input order and byte-identical for any worker count.
-func MeasureSuite(m target.Target, names []string, cpus, workers int) ([]Measurement, error) {
+// is in input order and byte-identical for any worker count. A context
+// that dies mid-suite abandons the members that have not started —
+// cancellation is at member granularity, so a completed result slice
+// is never partially reported.
+func MeasureSuite(ctx context.Context, m target.Target, names []string, cpus, workers int) ([]Measurement, error) {
 	if len(names) == 0 {
 		for _, b := range Suite() {
 			names = append(names, b.Name)
 		}
 	}
 	return sched.Map(workers, len(names), func(i int) (Measurement, error) {
-		return Measure(m, names[i], cpus)
+		return Measure(ctx, m, names[i], cpus)
 	})
 }
 
@@ -174,8 +195,13 @@ type ResilientMeasurement struct {
 
 // MeasureResilient is Measure under a fault schedule: the retry loop of
 // RunResilient, with the surviving attempt's degraded machine measured
-// structurally instead of rendered as text.
-func MeasureResilient(m target.Target, name string, cpus int, opts ResilientOpts) (ResilientMeasurement, error) {
+// structurally instead of rendered as text. ctx is host-side only, like
+// Measure's: the resilient retry loop runs on the simulated clock and
+// is not interruptible mid-member.
+func MeasureResilient(ctx context.Context, m target.Target, name string, cpus int, opts ResilientOpts) (ResilientMeasurement, error) {
+	if err := ctx.Err(); err != nil {
+		return ResilientMeasurement{}, abandoned(ctx, name)
+	}
 	dm, res, err := runAttempts(m, name, cpus, opts)
 	out := ResilientMeasurement{
 		Attempts:   res.Attempts,
@@ -185,20 +211,20 @@ func MeasureResilient(m target.Target, name string, cpus int, opts ResilientOpts
 	if err != nil {
 		return out, err
 	}
-	out.Measurement, err = Measure(dm, name, cpus)
+	out.Measurement, err = Measure(ctx, dm, name, cpus)
 	return out, err
 }
 
 // MeasureSuiteResilient is MeasureSuite under a fault schedule; each
 // member runs on its own simulated timeline (t = 0 at its start), so
 // the result slice is deterministic for any worker count.
-func MeasureSuiteResilient(m target.Target, names []string, cpus, workers int, opts ResilientOpts) ([]ResilientMeasurement, error) {
+func MeasureSuiteResilient(ctx context.Context, m target.Target, names []string, cpus, workers int, opts ResilientOpts) ([]ResilientMeasurement, error) {
 	if len(names) == 0 {
 		for _, b := range Suite() {
 			names = append(names, b.Name)
 		}
 	}
 	return sched.Map(workers, len(names), func(i int) (ResilientMeasurement, error) {
-		return MeasureResilient(m, names[i], cpus, opts)
+		return MeasureResilient(ctx, m, names[i], cpus, opts)
 	})
 }

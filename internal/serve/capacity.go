@@ -171,13 +171,16 @@ func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
 
 // answerCapacity resolves, classifies and serves one capacity query
 // through the same machinery as run queries: the shared response
-// cache, the single-flight group and the execution semaphore. The
-// scenario-level memo (s.capacity) sits below the response cache, so
-// even a novel query re-simulates only scenarios no earlier query ran.
+// cache, the single-flight group and the admission queue — under the
+// capacity class, the first to queue and the first to shed when the
+// daemon saturates, because one Monte Carlo costs what thousands of
+// run queries do. The scenario-level memo (s.capacity) sits below the
+// response cache, so even a novel query re-simulates only scenarios no
+// earlier query ran.
 func (s *Server) answerCapacity(ctx context.Context, req CapacityRequest) (body []byte, state string, err error) {
 	s.stats.capacityQueries.Add(1)
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		return nil, "", failf(http.StatusServiceUnavailable, "serve: query abandoned: %s", ctxErr)
+	if ctx.Err() != nil {
+		return nil, "", unavailablef(1, "serve: query abandoned: %s", context.Cause(ctx))
 	}
 	canon := req.Canonical()
 	nodes, err := fleet.ParseSpec(canon.Fleet)
@@ -190,12 +193,11 @@ func (s *Server) answerCapacity(ctx context.Context, req CapacityRequest) (body 
 		return b, "hit", nil
 	}
 	body, err, coalesced := s.flight.do(fp, func() ([]byte, error) {
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, failf(http.StatusServiceUnavailable, "serve: query abandoned before execution: %s", ctx.Err())
+		release, err := s.admitOne(ctx, classCapacity)
+		if err != nil {
+			return nil, err
 		}
-		defer func() { <-s.sem }()
+		defer release()
 		b, err := s.executeCapacity(canon, nodes, req.Workers)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -12,6 +13,51 @@ import (
 // canonicalize idempotently to an explicit benchmark list with the
 // workers knob erased, the canonical fingerprint ignores the worker
 // count, and a canonical request survives a JSON re-encode round trip.
+// FuzzCacheSnapshotLoad fuzzes the warm-start snapshot parser — the
+// second parser of untrusted bytes the daemon trusts its cache to
+// (disks corrupt, crashes truncate). Properties pinned for every
+// input: the parser never panics, parsing is deterministic, and an
+// accepted snapshot re-renders to a canonical form that parses back to
+// the same state (render∘parse is idempotent). Rejection is total: a
+// parse error never yields a partial snapshot.
+func FuzzCacheSnapshotLoad(f *testing.F) {
+	valid := (&Snapshot{
+		Counters: StatCounters{Requests: 7, RunQueries: 3, CacheHits: 2},
+		Memo:     []MemoStat{{Target: "sx4-32", Hits: 41, Misses: 5}},
+		Entries:  map[uint64][]byte{0xdeadbeefcafef00d: []byte("{\"ok\":true}\n")},
+	}).Render()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(snapshotHeader + "\n"))
+	f.Add([]byte("sx4d-snapshot v2\nchecksum 0000000000000000\n"))
+	f.Add([]byte("counter requests 1\n" + snapshotHeader + "\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1, err1 := ParseSnapshot(data)
+		s2, err2 := ParseSnapshot(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("parse is nondeterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if s1 != nil {
+				t.Fatalf("rejected input returned a partial snapshot %+v", s1)
+			}
+			return
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("parse is nondeterministic:\n%+v\nvs\n%+v", s1, s2)
+		}
+		canon := s1.Render()
+		back, err := ParseSnapshot(canon)
+		if err != nil {
+			t.Fatalf("canonical render rejected: %v\n%s", err, canon)
+		}
+		if again := back.Render(); !bytes.Equal(canon, again) {
+			t.Fatalf("render is not idempotent:\n%s\nvs\n%s", canon, again)
+		}
+	})
+}
+
 func FuzzServeRequest(f *testing.F) {
 	seeds := []string{
 		`{"machine":"sx4-32"}`,

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,10 +38,29 @@ import (
 // Config carries the daemon's operating limits. The zero value is
 // usable: sensible bounds, no request deadline, and a frozen clock.
 type Config struct {
-	// MaxConcurrent bounds simultaneous simulation executions (cache
-	// hits and coalesced followers are not counted — they do no
-	// simulation work). 0 means DefaultMaxConcurrent.
+	// MaxConcurrent bounds simultaneous simulation executions across
+	// all endpoints (cache hits and coalesced followers are not
+	// counted — they do no simulation work). 0 means
+	// DefaultMaxConcurrent.
 	MaxConcurrent int
+	// RunConcurrent, SweepConcurrent and CapacityConcurrent are the
+	// per-endpoint execution budgets under MaxConcurrent: how much of
+	// the engine each class of query may occupy at once. Zero values
+	// derive from MaxConcurrent — the full cap for cheap /v1/run
+	// queries, half for /v1/sweep lines, a quarter for /v1/capacity
+	// Monte Carlos — so under overload the interactive endpoint
+	// degrades last.
+	RunConcurrent      int
+	SweepConcurrent    int
+	CapacityConcurrent int
+	// QueueDepth bounds each class's admission wait queue; arrivals
+	// past it are shed immediately with 503 + Retry-After. 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// QueueWait bounds how long one query may wait in the admission
+	// queue before it is timed out with 503 + Retry-After; 0 means the
+	// request context alone governs the wait.
+	QueueWait time.Duration
 	// MaxBodyBytes bounds a request body; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 	// RequestTimeout bounds one run query's wall time; 0 means no
@@ -57,6 +77,7 @@ type Config struct {
 const (
 	DefaultMaxConcurrent = 8
 	DefaultMaxBodyBytes  = 1 << 20
+	DefaultQueueDepth    = 64
 )
 
 // Server answers simulation queries over HTTP. Create with New; the
@@ -64,7 +85,7 @@ const (
 type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
-	sem    chan struct{}
+	admit  *admitter
 	cache  target.FPCache[[]byte]
 	flight flightGroup
 	stats  serverStats
@@ -73,6 +94,15 @@ type Server struct {
 	// queries over overlapping scenario sets re-simulate only what no
 	// earlier query ran.
 	capacity fleet.Engine
+
+	// warmStart/restoredEntries/restoredMemo record snapshot
+	// provenance: set once at boot by LoadSnapshot, before the server
+	// handles traffic. restoredMemo is the previous lives' memo books,
+	// folded into /v1/stats and the next snapshot so the ledger stays
+	// continuous across restarts.
+	warmStart       bool
+	restoredEntries int
+	restoredMemo    []MemoStat
 
 	mu      sync.Mutex
 	targets map[string]target.Target // one shared instance per machine, memo warm across queries
@@ -86,10 +116,26 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RunConcurrent <= 0 {
+		cfg.RunConcurrent = cfg.MaxConcurrent
+	}
+	if cfg.SweepConcurrent <= 0 {
+		cfg.SweepConcurrent = max(1, cfg.MaxConcurrent/2)
+	}
+	if cfg.CapacityConcurrent <= 0 {
+		cfg.CapacityConcurrent = max(1, cfg.MaxConcurrent/4)
+	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		admit: newAdmitter(cfg.MaxConcurrent, cfg.QueueDepth, [numClasses]int{
+			classRun:      cfg.RunConcurrent,
+			classSweep:    cfg.SweepConcurrent,
+			classCapacity: cfg.CapacityConcurrent,
+		}),
 		targets: make(map[string]target.Target),
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
@@ -126,10 +172,15 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // httpError is an error with a wire status. answer and the handlers
-// pass these up; anything else renders as 500.
+// pass these up; anything else renders as 500. retryAfter, when
+// nonzero, becomes a Retry-After header — every 503 carries one, so a
+// well-behaved client (internal/client) backs off instead of retrying
+// hot. admitOutcome classifies admission failures for the counters.
 type httpError struct {
-	code int
-	err  error
+	code         int
+	err          error
+	retryAfter   int // seconds; 0 = no header
+	admitOutcome admitOutcome
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
@@ -137,6 +188,14 @@ func (e *httpError) Unwrap() error { return e.err }
 
 func failf(code int, format string, args ...any) *httpError {
 	return &httpError{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// unavailablef is failf for 503s: every service-unavailable answer
+// must tell the client when to come back.
+func unavailablef(retryAfter int, format string, args ...any) *httpError {
+	e := failf(http.StatusServiceUnavailable, format, args...)
+	e.retryAfter = retryAfter
+	return e
 }
 
 // writeError renders an error as the {"error": ...} JSON shape with
@@ -147,6 +206,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
 		code = he.code
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		}
 	}
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
@@ -205,6 +267,10 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.stats.snapshot()
 	st.CacheEntries = s.cache.Len()
+	st.QueueDepth = s.admit.queued()
+	st.InFlight = s.admit.executing()
+	st.WarmStart = s.warmStart
+	st.RestoredEntries = s.restoredEntries
 	st.Machines = len(target.All())
 	cs := s.capacity.Stats()
 	st.CapacityScenariosRun = cs.Misses
@@ -219,6 +285,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	for _, m := range s.restoredMemo {
+		st.MemoHits += m.Hits
+		st.MemoMisses += m.Misses
+	}
 	s.writeJSON(w, st)
 }
 
@@ -245,7 +315,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, failf(http.StatusBadRequest, "%s", err))
 		return
 	}
-	body, state, err := s.answer(ctx, req)
+	body, state, err := s.answer(ctx, req, classRun)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -268,6 +338,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	sc.Buffer(make([]byte, 0, 64*1024), int(s.cfg.MaxBodyBytes))
 	for sc.Scan() {
+		// A sweep whose client disconnected mid-stream must stop
+		// producing: the request context dies with the connection, and
+		// every remaining line would be simulation work nobody reads.
+		if ctx.Err() != nil {
+			s.stats.sweepAborts.Add(1)
+			return
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
@@ -276,7 +353,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		var out []byte
 		req, err := DecodeRunRequest(line)
 		if err == nil {
-			out, _, err = s.answer(ctx, req)
+			out, _, err = s.answer(ctx, req, classSweep)
 		}
 		if err != nil {
 			s.stats.errors.Add(1)
@@ -337,17 +414,48 @@ type RunResponse struct {
 	Results []benchjson.Result `json:"results"`
 }
 
+// admitOne passes one execution through the admission queue, applying
+// the configured queue-wait deadline and classifying the outcome into
+// the admission counters. The returned release also counts completion,
+// so admitted == completed + the in-flight gauge at every instant and
+// the chaos soak can assert the books balance.
+func (s *Server) admitOne(ctx context.Context, c admitClass) (release func(), err error) {
+	s.stats.admitRequests.Add(1)
+	wctx, cancel := ctx, context.CancelFunc(func() {})
+	if s.cfg.QueueWait > 0 {
+		wctx, cancel = context.WithTimeout(ctx, s.cfg.QueueWait)
+	}
+	rel, aerr := s.admit.acquire(wctx, c)
+	cancel()
+	if aerr != nil {
+		switch aerr.admitOutcome {
+		case outcomeShed:
+			s.stats.shed.Add(1)
+		case outcomeTimeout:
+			s.stats.queueTimeouts.Add(1)
+		default:
+			s.stats.queueCancelled.Add(1)
+		}
+		return nil, aerr
+	}
+	s.stats.admitted.Add(1)
+	return func() {
+		s.stats.completed.Add(1)
+		rel()
+	}, nil
+}
+
 // answer resolves, classifies and serves one validated run query:
 // cache hit, coalesced into an identical in-flight query, or executed
-// fresh. The returned state is the X-Sx4d-Cache header value; the body
+// fresh — the last gated by the admission queue under the endpoint's
+// class. The returned state is the X-Sx4d-Cache header value; the body
 // is byte-identical across all three for the same canonical query.
-func (s *Server) answer(ctx context.Context, req RunRequest) (body []byte, state string, err error) {
+func (s *Server) answer(ctx context.Context, req RunRequest, class admitClass) (body []byte, state string, err error) {
 	s.stats.runQueries.Add(1)
-	// A dead context gets no answer, cached or not — checked here
-	// rather than in the semaphore select alone, because a select with
-	// both a free slot and a done context ready picks randomly.
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		return nil, "", failf(http.StatusServiceUnavailable, "serve: query abandoned: %s", ctxErr)
+	// A dead context gets no answer, cached or not: the client already
+	// hung up, so any bytes written now are wasted work.
+	if ctx.Err() != nil {
+		return nil, "", unavailablef(1, "serve: query abandoned: %s", context.Cause(ctx))
 	}
 	canon := req.Canonical()
 	tgt, err := s.target(canon.Machine)
@@ -360,13 +468,12 @@ func (s *Server) answer(ctx context.Context, req RunRequest) (body []byte, state
 		return b, "hit", nil
 	}
 	body, err, coalesced := s.flight.do(fp, func() ([]byte, error) {
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, failf(http.StatusServiceUnavailable, "serve: query abandoned before execution: %s", ctx.Err())
+		release, err := s.admitOne(ctx, class)
+		if err != nil {
+			return nil, err
 		}
-		defer func() { <-s.sem }()
-		b, err := s.execute(tgt, canon, req.Workers)
+		defer release()
+		b, err := s.execute(ctx, tgt, canon, req.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -385,8 +492,11 @@ func (s *Server) answer(ctx context.Context, req RunRequest) (body []byte, state
 
 // execute runs the canonical query's simulation and renders the
 // response bytes. workers rides alongside the canonical request (it
-// shapes the evaluation schedule, never the bytes).
-func (s *Server) execute(tgt target.Target, canon RunRequest, workers int) ([]byte, error) {
+// shapes the evaluation schedule, never the bytes). ctx is the
+// request's deadline, propagated into the measurement layer so a
+// client that hangs up stops paying for simulation at the next member
+// boundary; abandoned work is a 503, never a half-rendered body.
+func (s *Server) execute(ctx context.Context, tgt target.Target, canon RunRequest, workers int) ([]byte, error) {
 	cpus := canon.CPUs
 	if cpus <= 0 {
 		cpus = tgt.Spec().CPUs
@@ -397,9 +507,9 @@ func (s *Server) execute(tgt target.Target, canon RunRequest, workers int) ([]by
 		FaultSeed: canon.FaultSeed,
 	}
 	if canon.FaultSeed == 0 {
-		ms, err := ncar.MeasureSuite(tgt, canon.Benchmarks, canon.CPUs, workers)
+		ms, err := ncar.MeasureSuite(ctx, tgt, canon.Benchmarks, canon.CPUs, workers)
 		if err != nil {
-			return nil, failf(http.StatusUnprocessableEntity, "%s", err)
+			return nil, s.executeError(err)
 		}
 		for _, m := range ms {
 			resp.Results = append(resp.Results, measurementResult(m))
@@ -410,9 +520,9 @@ func (s *Server) execute(tgt target.Target, canon RunRequest, workers int) ([]by
 			DeadlineSeconds: canon.DeadlineSeconds,
 			MaxAttempts:     canon.MaxAttempts,
 		}
-		rms, err := ncar.MeasureSuiteResilient(tgt, canon.Benchmarks, canon.CPUs, workers, opts)
+		rms, err := ncar.MeasureSuiteResilient(ctx, tgt, canon.Benchmarks, canon.CPUs, workers, opts)
 		if err != nil {
-			return nil, failf(http.StatusUnprocessableEntity, "%s", err)
+			return nil, s.executeError(err)
 		}
 		for _, rm := range rms {
 			r := measurementResult(rm.Measurement)
@@ -429,6 +539,17 @@ func (s *Server) execute(tgt target.Target, canon RunRequest, workers int) ([]by
 		return nil, err
 	}
 	return append(body, '\n'), nil
+}
+
+// executeError classifies a measurement failure: a context death that
+// surfaced mid-execution is counted and mapped to 503 (the work was
+// abandoned, not wrong); everything else is the request's fault, 422.
+func (s *Server) executeError(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.stats.execCancelled.Add(1)
+		return unavailablef(1, "%s", err)
+	}
+	return failf(http.StatusUnprocessableEntity, "%s", err)
 }
 
 // measurementResult renders one structured measurement as a benchjson
@@ -459,7 +580,7 @@ func CanonicalRequest() RunRequest {
 // for CanonicalRequest — the byte-stable artifact the golden suite and
 // the serve-smoke script both diff against a live daemon's output.
 func RenderCanonical(w io.Writer) error {
-	body, _, err := New(Config{}).answer(context.Background(), CanonicalRequest())
+	body, _, err := New(Config{}).answer(context.Background(), CanonicalRequest(), classRun)
 	if err != nil {
 		return err
 	}

@@ -94,6 +94,40 @@ func (c *FPCache[V]) LoadOrStore(fp uint64, mk func() V) V {
 	return v
 }
 
+// Store inserts a value without touching the hit/miss counters: the
+// warm-start path, where a daemon pre-populates the cache from a disk
+// snapshot before serving its first query. An existing entry is left
+// in place — snapshots never overwrite live, newer state.
+func (c *FPCache[V]) Store(fp uint64, v V) {
+	s := &c.shard[fpShardOf(fp)]
+	s.mu.Lock()
+	if _, ok := s.m[fp]; !ok {
+		if s.m == nil {
+			s.m = make(map[uint64]V)
+		}
+		s.m[fp] = v
+	}
+	s.mu.Unlock()
+}
+
+// Range calls f for every cached entry until f returns false. The
+// iteration order is unspecified (per-shard map order); callers that
+// render the contents — the snapshot writer — must collect and sort.
+// f must not call back into the cache (the shard lock is held).
+func (c *FPCache[V]) Range(f func(fp uint64, v V) bool) {
+	for i := range c.shard {
+		s := &c.shard[i]
+		s.mu.RLock()
+		for fp, v := range s.m {
+			if !f(fp, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
 // Stats returns the cache's counters. A LoadOrStore that found the
 // value counts as the one hit its inner Load recorded; lifetime
 // counters survive Clear (the entries they describe do not).

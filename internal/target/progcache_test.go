@@ -37,6 +37,42 @@ func TestFPCacheStats(t *testing.T) {
 	}
 }
 
+// TestFPCacheStoreRange pins the warm-start surface: Store inserts
+// without perturbing hit/miss counters and never overwrites a live
+// entry, and Range visits exactly the stored population.
+func TestFPCacheStoreRange(t *testing.T) {
+	var c FPCache[string]
+	for i := uint64(0); i < 100; i++ {
+		c.Store(i, "snap")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 100 {
+		t.Fatalf("after 100 Stores, stats = %+v, want 0 hits, 0 misses, 100 entries", st)
+	}
+	// A live entry wins over a snapshot replay.
+	c.LoadOrStore(200, func() string { return "live" })
+	c.Store(200, "snap")
+	if v, ok := c.Load(200); !ok || v != "live" {
+		t.Fatalf("Store overwrote a live entry: got %q", v)
+	}
+	seen := make(map[uint64]string)
+	c.Range(func(fp uint64, v string) bool {
+		seen[fp] = v
+		return true
+	})
+	if len(seen) != 101 {
+		t.Fatalf("Range visited %d entries, want 101", len(seen))
+	}
+	if seen[7] != "snap" || seen[200] != "live" {
+		t.Fatalf("Range contents wrong: %q %q", seen[7], seen[200])
+	}
+	// Early termination: a false return stops the walk.
+	n := 0
+	c.Range(func(uint64, string) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range after false return visited %d entries, want 1", n)
+	}
+}
+
 // TestFPCacheStatsConcurrent pins the counters' race-freedom: total
 // lookups must equal hits+misses whatever the interleaving.
 func TestFPCacheStatsConcurrent(t *testing.T) {

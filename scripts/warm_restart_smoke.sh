@@ -1,0 +1,66 @@
+#!/bin/sh
+# warm_restart_smoke.sh — end-to-end proof that the sx4d cache survives
+# a restart, driven through the resilient sx4ctl client: boot a daemon
+# with a snapshot file, answer the canonical query (a miss), stop the
+# daemon (SIGTERM → graceful drain → on-drain snapshot), boot a second
+# daemon from the same snapshot, and require the same query to be an
+# exact cache hit with a byte-identical body. Doubles as the sx4ctl
+# single-binary smoke: every query goes through the client's retry
+# loop, and the first post-boot query exercises retry-on-503/refused
+# while the daemon is still coming up. Run from the repository root
+# (make warm-restart-smoke does).
+set -eu
+
+SX4D=${SX4D:-bin/sx4d}
+SX4CTL=${SX4CTL:-bin/sx4ctl}
+WORK=$(mktemp -d)
+PID=""
+trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+[ -x "$SX4D" ] || { echo "warm-restart-smoke: $SX4D not built" >&2; exit 1; }
+[ -x "$SX4CTL" ] || { echo "warm-restart-smoke: $SX4CTL not built" >&2; exit 1; }
+
+SNAP="$WORK/cache.snap"
+
+boot() {
+    : > "$WORK/port"
+    "$SX4D" -addr 127.0.0.1:0 -portfile "$WORK/port" -cache "$SNAP" &
+    PID=$!
+    i=0
+    while [ ! -s "$WORK/port" ]; do
+        i=$((i + 1))
+        [ "$i" -le 50 ] || { echo "warm-restart-smoke: daemon never published its port" >&2; exit 1; }
+        kill -0 "$PID" 2>/dev/null || { echo "warm-restart-smoke: daemon exited early" >&2; exit 1; }
+        sleep 0.1
+    done
+    ADDR=$(cat "$WORK/port")
+}
+
+# First life: the canonical query executes fresh.
+boot
+"$SX4CTL" -addr "http://$ADDR" run -machine sx4-32 -benchmarks COPY,IA -expect-cache miss > "$WORK/first" \
+    || { echo "warm-restart-smoke: first query failed or was not a miss" >&2; exit 1; }
+
+# Graceful stop: SIGTERM drains and writes the snapshot.
+kill -TERM "$PID"
+wait "$PID" || { echo "warm-restart-smoke: daemon did not stop cleanly" >&2; exit 1; }
+PID=""
+[ -s "$SNAP" ] || { echo "warm-restart-smoke: no snapshot written on drain" >&2; exit 1; }
+
+# Second life: the same query must be answered from the restored cache,
+# byte-identically, on the first ask.
+boot
+"$SX4CTL" -addr "http://$ADDR" run -machine sx4-32 -benchmarks COPY,IA -expect-cache hit > "$WORK/second" \
+    || { echo "warm-restart-smoke: post-restart query was not a cache hit" >&2; exit 1; }
+cmp -s "$WORK/first" "$WORK/second" \
+    || { echo "warm-restart-smoke: post-restart body diverged" >&2; exit 1; }
+
+# The daemon knows it warm-started.
+"$SX4CTL" -addr "http://$ADDR" stats | grep -q 'warm_start=true' \
+    || { echo "warm-restart-smoke: stats do not report warm start" >&2; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID" || true
+PID=""
+
+echo "warm-restart-smoke: ok (cache survived SIGTERM restart; sx4ctl verified hit + byte-identical body)"
